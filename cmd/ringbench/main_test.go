@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"F1", "F9", "T1", "T10"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "f1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d (%s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "F99"}, &out, &errb); code == 0 {
+		t.Error("unknown experiment accepted")
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}

@@ -1,0 +1,47 @@
+// Command ringfig prints the paper's descriptive figures: the access
+// indicator diagrams of Figures 1 and 2 and the storage formats of
+// Figure 3.
+//
+// Usage:
+//
+//	ringfig [-fig 1|2|3|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringfig", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure to print: 1, 2, 3 or all")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *fig {
+	case "1":
+		fmt.Fprintln(stdout, figures.Figure1())
+	case "2":
+		fmt.Fprintln(stdout, figures.Figure2())
+	case "3":
+		fmt.Fprintln(stdout, figures.Figure3())
+	case "all":
+		fmt.Fprintln(stdout, figures.Figure1())
+		fmt.Fprintln(stdout, figures.Figure2())
+		fmt.Fprintln(stdout, figures.Figure3())
+	default:
+		fmt.Fprintf(stderr, "ringfig: unknown figure %q\n", *fig)
+		return 2
+	}
+	return 0
+}

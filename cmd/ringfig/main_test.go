@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigures(t *testing.T) {
+	for _, fig := range []string{"1", "2", "3", "all"} {
+		var out, errb strings.Builder
+		if code := run([]string{"-fig", fig}, &out, &errb); code != 0 {
+			t.Errorf("fig %s: exit %d (%s)", fig, code, errb.String())
+		}
+		if out.Len() == 0 {
+			t.Errorf("fig %s: empty output", fig)
+		}
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-fig", "9"}, &out, &errb); code == 0 {
+		t.Error("unknown figure accepted")
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

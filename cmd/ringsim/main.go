@@ -1,0 +1,231 @@
+// Command ringsim assembles and runs a program on the simulated
+// ring-protection machine.
+//
+// Usage:
+//
+//	ringsim [flags] program.s
+//
+// The program is assembled together with the standard supervisor gate
+// segment (sysgates) and the calling-convention macros, so it may call
+// supervisor services; execution starts at word 0 of the segment named
+// by -start in the ring given by -ring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/debug"
+	"repro/rings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		start    = fs.String("start", "main", "segment to start in")
+		ring     = fs.Int("ring", 4, "ring of execution to start in (0-7)")
+		user     = fs.String("user", "user", "user name for ACL checks")
+		steps    = fs.Int("steps", 1<<20, "maximum instructions to execute")
+		traceOn  = fs.Bool("trace", false, "print the execution trace")
+		audit    = fs.Bool("audit", false, "print the supervisor audit log")
+		baseline = fs.Bool("baseline", false, "run on the 645-style software-ring machine")
+		list     = fs.Bool("list", false, "print the assembly listing instead of running")
+		breakAt  = fs.String("break", "", "breakpoint as seg:label or seg:word; dumps registers at each hit")
+		watchAt  = fs.String("watch", "", "watchpoint as seg:label or seg:word; dumps registers on change")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ringsim [flags] program.s")
+		fs.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
+	}
+	if *ring < 0 || *ring >= rings.NumRings {
+		fmt.Fprintf(stderr, "ringsim: ring %d out of range\n", *ring)
+		return 2
+	}
+
+	if *list {
+		prog, err := rings.Assemble(rings.StdMacros + string(src))
+		if err != nil {
+			fmt.Fprintln(stderr, "ringsim:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, prog.Listing())
+		return 0
+	}
+
+	if *baseline {
+		return runBaseline(string(src), *start, rings.Ring(*ring), *steps, stdout, stderr)
+	}
+
+	sys, err := rings.NewSystem(rings.SystemConfig{
+		User:       *user,
+		Trace:      *traceOn,
+		TraceLimit: 20000, // keep -trace bounded on long programs
+	}, rings.StdMacros+string(src))
+	if err != nil {
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
+	}
+	if *breakAt != "" || *watchAt != "" {
+		return runDebug(sys, rings.Ring(*ring), *start, *steps, *breakAt, *watchAt, stdout, stderr)
+	}
+
+	res, err := sys.RunAt(rings.Ring(*ring), *start, 0, *steps)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
+	}
+	if res.Console != "" {
+		fmt.Fprint(stdout, res.Console)
+	}
+	if *traceOn {
+		fmt.Fprint(stderr, sys.Trace())
+	}
+	if *audit {
+		for _, a := range sys.Audit() {
+			fmt.Fprintln(stderr, "audit:", a)
+		}
+	}
+	switch {
+	case res.Trap != nil:
+		fmt.Fprintf(stderr, "ringsim: %v\n", res.Trap)
+		return 1
+	case res.Exited:
+		fmt.Fprintf(stderr, "ringsim: exit(%d) after %d instructions, %d cycles\n",
+			res.ExitCode, res.Steps, res.Cycles)
+		if res.ExitCode != 0 {
+			return int(res.ExitCode & 0x7F)
+		}
+	default:
+		fmt.Fprintf(stderr, "ringsim: halted in %v after %d instructions, %d cycles (A=%d)\n",
+			res.FinalRing, res.Steps, res.Cycles, res.A)
+	}
+	return 0
+}
+
+func runBaseline(src, start string, ring rings.Ring, steps int, stdout, stderr io.Writer) int {
+	m, err := rings.Baseline(rings.SystemConfig{}, rings.StdMacros+src)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
+	}
+	if err := m.Start(ring, start, 0); err != nil {
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
+	}
+	if _, err := m.Run(steps); err != nil {
+		fmt.Fprintf(stderr, "ringsim: %v\n", err)
+		for _, a := range m.Audit {
+			fmt.Fprintln(stderr, "audit:", a)
+		}
+		return 1
+	}
+	fmt.Fprintf(stderr, "ringsim: baseline halted in software ring %d, %d cycles, %d crossings (A=%d)\n",
+		m.Ring, m.CPU.Cycles, m.Crossings, m.CPU.A.Int64())
+	return 0
+}
+
+// parseAddr resolves "seg:label" or "seg:word" against the system.
+func parseAddr(sys *rings.System, spec string) (debug.Addr, error) {
+	var zero debug.Addr
+	i := strings.IndexByte(spec, ':')
+	if i <= 0 || i == len(spec)-1 {
+		return zero, fmt.Errorf("bad address %q (want seg:label or seg:word)", spec)
+	}
+	segName, loc := spec[:i], spec[i+1:]
+	segno, err := sys.Segno(segName)
+	if err != nil {
+		return zero, err
+	}
+	if off, err := sys.Symbol(segName, loc); err == nil {
+		return debug.Addr{Segno: segno, Wordno: off}, nil
+	}
+	n, err := strconv.ParseUint(loc, 10, 18)
+	if err != nil {
+		return zero, fmt.Errorf("no label or word number %q in %q", loc, segName)
+	}
+	return debug.Addr{Segno: segno, Wordno: uint32(n)}, nil
+}
+
+// runDebug runs under the debugger, dumping registers at each stop.
+func runDebug(sys *rings.System, ring rings.Ring, start string, steps int, breakAt, watchAt string, stdout, stderr io.Writer) int {
+	if err := sys.Img.Start(ring, start, 0); err != nil {
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
+	}
+	d := debug.New(sys.CPU())
+	if breakAt != "" {
+		a, err := parseAddr(sys, breakAt)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringsim:", err)
+			return 2
+		}
+		d.AddBreak(a)
+	}
+	if watchAt != "" {
+		a, err := parseAddr(sys, watchAt)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringsim:", err)
+			return 2
+		}
+		if err := d.AddWatch(a); err != nil {
+			fmt.Fprintln(stderr, "ringsim:", err)
+			return 2
+		}
+	}
+	const maxStops = 50
+	for stops := 0; ; {
+		stop := d.Run(steps)
+		switch stop.Cause {
+		case debug.StopBreak:
+			fmt.Fprintf(stderr, "breakpoint at %v\n%s", stop.At, d.Dump())
+			stops++
+			// Step over the breakpoint so Run does not re-stop here.
+			if s2, err := d.Step(); err != nil || (s2 != nil && s2.Cause != debug.StopWatch) {
+				if s2 != nil && s2.Cause == debug.StopHalt {
+					fmt.Fprintln(stderr, "ringsim: halted")
+					fmt.Fprint(stdout, sys.Sup.Console.String())
+					return 0
+				}
+				fmt.Fprintln(stderr, "ringsim: stopped during step-over")
+				return 1
+			}
+		case debug.StopWatch:
+			fmt.Fprintf(stderr, "watchpoint %v: %v -> %v at %v\n%s",
+				stop.Watched, stop.Old, stop.New, stop.At, d.Dump())
+			stops++
+		case debug.StopHalt:
+			fmt.Fprint(stdout, sys.Sup.Console.String())
+			fmt.Fprintln(stderr, "ringsim: halted")
+			return 0
+		case debug.StopTrap:
+			fmt.Fprintln(stderr, "ringsim:", stop.Err)
+			return 1
+		default:
+			fmt.Fprintln(stderr, "ringsim: step limit reached")
+			return 1
+		}
+		if stops >= maxStops {
+			fmt.Fprintln(stderr, "ringsim: too many stops; giving up")
+			return 1
+		}
+	}
+}

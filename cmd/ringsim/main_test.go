@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testProg = `
+        .seg    main
+        .bracket 4,4,4
+        lia     42
+        callg   sysgates$putnum
+        lia     0
+        callg   sysgates$exit
+`
+
+const baselineProg = `
+        .seg    main
+        .bracket 4,4,4
+        callg   svc$entry
+        hlt
+
+        .seg    svc
+        .bracket 1,1,5
+        .gate   entry
+entry:  leafenter
+        lia     5
+        leafexit
+`
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProgram(t *testing.T) {
+	path := writeProg(t, testProg)
+	var out, errb strings.Builder
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if out.String() != "42\n" {
+		t.Errorf("stdout %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "exit(0)") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+func TestRunTraceAndAudit(t *testing.T) {
+	path := writeProg(t, testProg)
+	var out, errb strings.Builder
+	if code := run([]string{"-trace", "-audit", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "ring-switch") {
+		t.Error("trace missing")
+	}
+	if !strings.Contains(errb.String(), "audit:") {
+		t.Error("audit missing")
+	}
+}
+
+func TestRunListing(t *testing.T) {
+	path := writeProg(t, testProg)
+	var out, errb strings.Builder
+	if code := run([]string{"-list", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "segment main") {
+		t.Errorf("listing: %s", out.String())
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	path := writeProg(t, baselineProg)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "crossings") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{}, &out, &errb); code == 0 {
+		t.Error("missing file accepted")
+	}
+	if code := run([]string{"/nonexistent/prog.s"}, &out, &errb); code == 0 {
+		t.Error("unreadable file accepted")
+	}
+	path := writeProg(t, "frob\n")
+	if code := run([]string{path}, &out, &errb); code == 0 {
+		t.Error("bad assembly accepted")
+	}
+	good := writeProg(t, testProg)
+	if code := run([]string{"-ring", "9", good}, &out, &errb); code == 0 {
+		t.Error("bad ring accepted")
+	}
+	// A trapping program exits nonzero.
+	trapping := writeProg(t, `
+        .seg    main
+        .bracket 6,6,6
+        callg   sysgates$exit
+`)
+	if code := run([]string{"-ring", "6", trapping}, &out, &errb); code == 0 {
+		t.Error("trapping program reported success")
+	}
+}
+
+func TestRunWithBreakpoint(t *testing.T) {
+	path := writeProg(t, baselineProg)
+	var out, errb strings.Builder
+	if code := run([]string{"-break", "svc:entry", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "breakpoint at") {
+		t.Errorf("stderr %q", errb.String())
+	}
+	if !strings.Contains(errb.String(), "IPR") {
+		t.Error("no register dump")
+	}
+}
+
+func TestRunWithWatchpoint(t *testing.T) {
+	path := writeProg(t, `
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        lia     3
+        sta     cell
+        hlt
+        .entry  cell
+cell:   .word   0
+`)
+	var out, errb strings.Builder
+	if code := run([]string{"-watch", "main:cell", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "watchpoint") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+func TestRunDebugBadAddr(t *testing.T) {
+	path := writeProg(t, testProg)
+	var out, errb strings.Builder
+	if code := run([]string{"-break", "nosuch:0", path}, &out, &errb); code == 0 {
+		t.Error("bad break segment accepted")
+	}
+	if code := run([]string{"-break", "main", path}, &out, &errb); code == 0 {
+		t.Error("malformed break accepted")
+	}
+	if code := run([]string{"-break", "main:nolabel", path}, &out, &errb); code == 0 {
+		t.Error("unknown label accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces Schroeder and Saltzer, "A Hardware
+// Architecture for Implementing Protection Rings" (SOSP 1971 / CACM
+// 15(3), 1972): a simulated segmented processor with hardware
+// protection rings, its 645-style software-ring baseline, a miniature
+// layered supervisor, an assembler, and an experiment harness that
+// regenerates every figure and claim of the paper.
+//
+// The public API is the repro/rings package; see README.md for a tour,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package
+// hosts the repository-level benchmark suite (bench_test.go, one
+// benchmark per figure and table) and the whole-system integration
+// tests (integration_test.go).
+package repro

@@ -1,0 +1,110 @@
+// Grading: "Ring 6 of a process might be used, for example, to provide
+// a suitably isolated environment for student programs being evaluated
+// by a grading program executing in ring 4."
+//
+// The grader (ring 4) invokes each student submission in ring 6 — an
+// upward call, mediated by the supervisor — feeds it an input, and
+// checks the answer. The student program cannot reach the supervisor
+// gates ("procedures executing in rings 6 and 7 are not given access to
+// supervisor gates") and cannot touch the grader's answer key.
+//
+//	go run ./examples/grading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rings"
+)
+
+const src = `
+; ---- The grader, ring 4 ----
+        .seg    grader
+        .bracket 4,4,4
+        .access rwe
+        lia     6               ; the assignment: f(6), expected 12
+        stic    pr6|0,+1
+        call    student$f       ; upward call into the sandbox ring
+        sta     answer
+        lda     answer
+        cma     expected
+        tze     pass
+        lia     0               ; grade: fail
+        call    sysgates$exit
+pass:   lia     100             ; grade: full marks
+        call    sysgates$exit
+answer: .word   0
+expected: .word 12
+key:    .word   777             ; the answer key: grader property
+
+; ---- The student submission, ring 6 ----
+        .seg    student
+        .bracket 6,6,6
+        .access rwe
+        .gate   f
+; f(x) = 2*x — this submission happens to be correct
+f:      sta     x
+        ada     x
+        return  *pr6|0
+x:      .word   0
+`
+
+// A second submission that tries to cheat by calling the supervisor.
+const cheaterSrc = `
+        .seg    grader
+        .bracket 4,4,4
+        .access rwe
+        lia     6
+        stic    pr6|0,+1
+        call    student$f
+        sta     answer
+        lia     100
+        call    sysgates$exit
+answer: .word   0
+
+        .seg    student
+        .bracket 6,6,6
+        .gate   f
+f:      stic    pr6|0,+1
+        call    sysgates$exit   ; rings 6-7 hold no supervisor gates
+        return  *pr6|0
+`
+
+func main() {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "prof"}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(4, "grader")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Exited {
+		log.Fatalf("grader did not finish: %+v\naudit: %v", res, sys.Audit())
+	}
+	fmt.Printf("submission 1: grade %d/100 (ran in ring 6 under an upward call,\n", res.ExitCode)
+	fmt.Println("  mediated by the supervisor's stacked return gates)")
+	fmt.Println("\nmediation audit:")
+	for _, a := range sys.Audit() {
+		fmt.Println("  " + a)
+	}
+
+	// The cheater: its call to sysgates$exit from ring 6 violates the
+	// gate extension and the submission is failed.
+	sys2, err := rings.NewSystem(rings.SystemConfig{User: "prof"}, cheaterSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := sys2.Run(4, "grader")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if res2.Trap != nil {
+		fmt.Printf("submission 2 tried to call the supervisor from ring 6 and was stopped:\n  %v\n", res2.Trap)
+		fmt.Println("grade: 0/100 (disqualified)")
+	} else {
+		log.Fatalf("cheater was not caught: %+v", res2)
+	}
+}

@@ -1,0 +1,102 @@
+// Layered supervisor: "In Multics, the lowest-level supervisor
+// procedures ... execute in ring 0. The remaining supervisor procedures
+// execute in ring 1. Examples of ring 1 supervisor procedures are those
+// performing accounting, input/output stream management, and file
+// system search direction."
+//
+// This example builds a two-layer supervisor: the ring-0 core (the
+// standard sysgates services) and a ring-1 accounting layer with its
+// own gate. Ring-1 data is invisible to user rings; the ring-1 layer
+// itself calls down into ring 0 through the same gate mechanism users
+// use — the internal interface between the two supervisor layers the
+// paper describes.
+//
+//	go run ./examples/layeredsup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rings"
+)
+
+const src = `
+; ---- Ring 1: the accounting layer of the supervisor ----
+        .seg    acct
+        .bracket 1,1,5          ; gates callable from rings 2-5
+        .access rwe
+        .gate   charge
+; charge(units in A): add to the account, audit through ring 0.
+; Because charge makes a further call, it uses the full frame protocol:
+; allocate a frame, save the caller's stack pointer, repoint PR6 at the
+; new frame, and bump the stack's next-available counter.
+charge: eap5    *pr0|0          ; PR5 := new frame from the counter
+        spr6    pr5|1           ; save caller's PR6 at frame+1
+        spr0    pr5|2           ; save our stack base (CALL will clobber PR0)
+        eap4    pr5|4
+        spr4    pr0|0           ; counter := frame+4
+        eap6    pr5|0           ; PR6 := my frame
+        sta     units
+        lda     balance
+        ada     units
+        sta     balance         ; ring-1 write to ring-1 data
+        stic    pr6|0,+1
+        call    sysgates$audit  ; ring 1 calling ring 0: same mechanism
+        ; PR0, PR4 and PR5 are volatile across a call; PR6 (our frame)
+        ; survives because every callee restores it.
+        eap4    *pr6|2          ; PR4 := our stack base, from the frame
+        spr6    pr4|0           ; pop my frame (counter := frame)
+        eap6    *pr6|1          ; restore caller's PR6 (ring-safe)
+        return  *pr6|0
+        .entry  balance
+balance: .word  0
+units:  .word   0
+
+; ---- Ring 4: a user program consuming the accounted service ----
+        .seg    user
+        .bracket 4,4,4
+        .access rwe
+        lia     30
+        stic    pr6|0,+1
+        call    acct$charge
+        lia     12
+        stic    pr6|0,+1
+        call    acct$charge
+        lda     *peek           ; direct read of supervisor data: denied
+        hlt
+peek:   .its    4, acct$balance
+`
+
+func main() {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice", Trace: true}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(4, "user")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	balOff, err := sys.Symbol("acct", "balance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal, _ := sys.ReadWord("acct", balOff)
+	fmt.Printf("account balance maintained by the ring-1 layer: %d\n", bal.Int64())
+
+	fmt.Println("\nsupervisor audit log (ring-1 layer calling the ring-0 layer):")
+	for _, a := range sys.Audit() {
+		fmt.Println("  " + a)
+	}
+
+	if res.Trap == nil {
+		log.Fatal("expected the user's direct read of ring-1 data to be denied")
+	}
+	fmt.Printf("\nuser's direct read of the balance was denied: %v\n\n", res.Trap)
+
+	fmt.Println("NOTE how the layering is enforced, not conventional: changing the")
+	fmt.Println("accounting layer cannot corrupt ring 0, so — as the paper argues —")
+	fmt.Println("\"changes can be made in ring 1 without having to recertify the correct")
+	fmt.Println("operation of the procedures in ring 0.\"")
+}

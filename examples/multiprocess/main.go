@@ -1,0 +1,118 @@
+// Multi-process: "a process with a new virtual memory is created for
+// each user when he logs in", "a single segment may be part of several
+// virtual memories at the same time", and "several processes may share
+// the use of the same protected subsystem simultaneously".
+//
+// Three users log in. All three run the same (shared, pure) program,
+// which posts messages to a shared bulletin board through a shared
+// ring-1 subsystem. Alice and Bob are on the board's ACL; Mallory is
+// not, so the board simply does not exist in Mallory's virtual memory.
+// A round-robin scheduler interleaves the processes on the single
+// simulated processor by swapping the DBR — the exact mechanism the
+// paper describes for giving each user a separate virtual memory.
+//
+//	go run ./examples/multiprocess
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/sup"
+)
+
+const src = `
+; ---- the shared ring-1 posting subsystem ----
+        .seg    postsvc
+        .bracket 1,1,5
+        .gate   post
+; post(word in A): append A to the board and bump the count
+post:   eap5    *pr0|0
+        spr6    pr5|0
+        ldx1    board$base      ; X1 := current count (board word 0)
+        eap4    *blink
+        sta     pr4|1,x1        ; board[1+count] := A
+        aos     board$base      ; count++
+        eap6    *pr5|0
+        return  *pr6|0
+blink:  .its    1, board$base
+
+; ---- the shared user program (pure; working data in private stacks) ----
+        .seg    user
+        .bracket 4,4,4
+        lia     2
+        sta     pr6|2           ; post two messages per process
+loop:   lda     pr6|2
+        stic    pr6|0,+1
+        call    postsvc$post
+        lda     pr6|2
+        aia     -1
+        sta     pr6|2
+        tnz     loop
+        lia     0
+        stic    pr6|0,+1
+        call    sysgates$exit
+`
+
+func main() {
+	s := proc.NewSystem(proc.Config{})
+	prog, err := asm.Assemble(sup.GateSource + src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The bulletin board: word 0 = count, the rest = entries. Only
+	// alice and bob appear on its ACL (writable via ring 1 only).
+	boardACL := acl.List{
+		{User: "alice", Read: true, Write: true, Brackets: core.Brackets{R1: 1, R2: 5, R3: 5}},
+		{User: "bob", Read: true, Write: true, Brackets: core.Brackets{R1: 1, R2: 5, R3: 5}},
+	}
+	if _, err := s.AddShared(proc.SharedDef{Name: "board", Size: 32, ACL: boardACL}); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	var procs []*proc.Process
+	for _, user := range []string{"alice", "bob", "mallory"} {
+		p, err := s.Spawn(user+"-proc", user, "user", 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+
+	if err := s.Schedule(15, 10000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("process outcomes (round-robin, quantum 15 instructions):")
+	for _, p := range procs {
+		switch {
+		case p.Exited:
+			fmt.Printf("  %-14s exited cleanly after %d slices, %d cycles\n",
+				p.Name, p.Slices, p.Cycles)
+		case p.Trap != nil:
+			fmt.Printf("  %-14s stopped: %v\n", p.Name, p.Trap)
+		}
+	}
+
+	count, err := s.ReadWord("board", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbulletin board holds %d posts:", count.Int64())
+	for i := int64(1); i <= count.Int64(); i++ {
+		w, _ := s.ReadWord("board", uint32(i))
+		fmt.Printf(" %d", w.Int64())
+	}
+	fmt.Println()
+	fmt.Println("\nalice's and bob's posts interleaved through the SAME subsystem code and")
+	fmt.Println("the SAME board segment, each from its own virtual memory; mallory's")
+	fmt.Println("process faulted because the board is absent from a virtual memory whose")
+	fmt.Println("user fails the access control list.")
+}

@@ -1,0 +1,32 @@
+package repro_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program, guarding the
+// narrative code against rot. Skipped under -short (each example is a
+// separate `go run` build).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := []string{
+		"quickstart", "protectedsub", "debugring", "layeredsup",
+		"grading", "typewriter", "multiprocess", "filesearch", "dynlink",
+	}
+	for _, e := range examples {
+		e := e
+		t.Run(e, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+e).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", e, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", e)
+			}
+		})
+	}
+}

@@ -1,0 +1,295 @@
+// Repository-level integration tests: whole-system scenarios that
+// compose the substrates the way a running computer utility would —
+// multiple users' processes, shared protected subsystems, dynamic
+// linking, supervisor services, I/O, and both machines (hardware and
+// software rings) over the same images.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/iosim"
+	"repro/internal/paging"
+	"repro/internal/proc"
+	"repro/internal/softring"
+	"repro/internal/sup"
+	"repro/internal/word"
+	"repro/rings"
+)
+
+// TestUtilitySession is the kitchen-sink scenario: three users log in;
+// each process runs the same pure editor-ish program which (a) posts an
+// audit record through ring 0, (b) appends to a shared ring-1 journal
+// through a gated subsystem, and (c) types a character on the shared
+// typewriter through a ring-0 I/O gate. Mallory's process lacks the
+// journal on its ACL and faults; the other two finish; the journal
+// holds exactly their entries.
+func TestUtilitySession(t *testing.T) {
+	src := sup.GateSource + asm.StdMacros + `
+; ---- ring 1: the journal subsystem ----
+        .seg    journal
+        .bracket 1,1,5
+        .gate   append
+append: leafenter
+        ldx1    store$base      ; X1 := count
+        eap4    *slink
+        sta     pr4|1,x1        ; store[1+count] := A
+        aos     store$base
+        leafexit
+slink:  .its    1, store$base
+
+; ---- ring 0: one-character typewriter gate ----
+        .seg    ttyg
+        .bracket 0,0,5
+        .access rwe
+        .gate   putc
+putc:   leafenter
+        sta     chbuf
+        sio     iocb
+        leafexit
+        .entry  iocb
+iocb:   .word   0
+        .its    0, chbuf
+chbuf:  .word   0
+
+; ---- ring 4: the user program (pure; state in private stacks) ----
+        .seg    prog
+        .bracket 4,4,4
+        lia     7
+        callg   sysgates$audit
+        lia     111
+        callg   journal$append
+        lia     88              ; 'X'
+        callg   ttyg$putc
+        lia     0
+        callg   sysgates$exit
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := proc.NewSystem(proc.Config{})
+	journalACL := acl.List{
+		{User: "alice", Read: true, Write: true, Brackets: core.Brackets{R1: 1, R2: 1, R3: 1}},
+		{User: "bob", Read: true, Write: true, Brackets: core.Brackets{R1: 1, R2: 1, R3: 1}},
+	}
+	if _, err := s.AddShared(proc.SharedDef{Name: "store", Size: 32, ACL: journalACL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared typewriter behind the channel controller; the IOCB
+	// template (op=write, dev=1, count=1) is patched into the shared
+	// ttyg segment.
+	tty := &rings.Typewriter{}
+	ctl := newController(t, s, tty)
+	_ = ctl
+	iocbOff := prog.Segment("ttyg").Symbols["iocb"]
+	ttygSeg, err := s.Segno("ttyg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, _ := rings.MakeIOCB(1, 1, 1, ttygSeg, iocbOff+1)
+	if err := s.WriteWord("ttyg", iocbOff, w0); err != nil {
+		t.Fatal(err)
+	}
+
+	var ps []*proc.Process
+	for _, user := range []string{"alice", "bob", "mallory"} {
+		p, err := s.Spawn(user+"-p", user, "prog", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	if err := s.Schedule(11, 100000); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range ps[:2] {
+		if !p.Exited || p.ExitCode != 0 {
+			t.Fatalf("%s: exited=%v trap=%v audit=%v", p.Name, p.Exited, p.Trap, p.Sup.Audit)
+		}
+		found := false
+		for _, a := range p.Sup.Audit {
+			if strings.Contains(a, "audit from ring 4: 7") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no audit record: %v", p.Name, p.Sup.Audit)
+		}
+	}
+	if ps[2].Trap == nil {
+		t.Error("mallory's process did not fault")
+	}
+
+	count, err := s.ReadWord("store", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Int64() != 2 {
+		t.Errorf("journal count = %d, want 2 (alice + bob)", count.Int64())
+	}
+	// Both permitted processes typed one 'X' each; mallory faulted
+	// before reaching the typewriter.
+	if got := tty.Printed.String(); got != "XX" {
+		t.Errorf("typewriter printed %q", got)
+	}
+}
+
+// newController wires a typewriter to the multi-process machine's CPU.
+func newController(t *testing.T, s *proc.System, tty *rings.Typewriter) *rings.IOController {
+	t.Helper()
+	ctl := iosim.NewController()
+	ctl.Attach(1, tty)
+	s.CPU.IO = ctl
+	return ctl
+}
+
+// TestSameImageBothMachines runs one nontrivial program (dynamic-link-
+// free, service + data) on the hardware-ring machine, the software-ring
+// machine, and the hardware machine over demand-paged storage, and
+// requires all three to agree on the result.
+func TestSameImageBothMachines(t *testing.T) {
+	src := `
+        .seg    main
+        .bracket 4,4,4
+        lia     6
+        sta     pr6|2
+        lia     0
+        sta     pr6|3
+loop:   lda     pr6|3
+        stic    pr6|0,+1
+        call    alg$next
+        sta     pr6|3
+        lda     pr6|2
+        aia     -1
+        sta     pr6|2
+        tnz     loop
+        lda     pr6|3
+        hlt
+
+        .seg    alg
+        .bracket 1,1,5
+        .gate   next
+next:   eap5    *pr0|0
+        spr6    pr5|0
+        als     1
+        aia     1               ; x := 2x+1
+        eap6    *pr5|0
+        return  *pr6|0
+`
+	// Hardware, flat.
+	prog := asm.MustAssemble(src)
+	hw, err := asm.BuildImage(image.Config{MemWords: 1 << 18}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.CPU.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	want := hw.CPU.A.Int64()
+	if want != 63 { // 6 iterations of x := 2x+1 from 0
+		t.Fatalf("hardware result %d, want 63", want)
+	}
+
+	// Hardware, demand paged.
+	space, err := paging.New(1<<18, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := image.Config{Backing: space}
+	paged, err := asm.BuildImage(cfg, asm.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := paged.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paged.CPU.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if got := paged.CPU.A.Int64(); got != want {
+		t.Errorf("paged result %d, want %d", got, want)
+	}
+
+	// Software rings, same object code.
+	swImg, err := asm.BuildImage(image.Config{MemWords: 1 << 18}, asm.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := softring.Wrap(swImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100000); err != nil {
+		t.Fatalf("%v (audit %v)", err, m.Audit)
+	}
+	if got := m.CPU.A.Int64(); got != want {
+		t.Errorf("software-ring result %d, want %d", got, want)
+	}
+	if m.Crossings != 12 { // 6 calls + 6 returns
+		t.Errorf("crossings = %d, want 12", m.Crossings)
+	}
+}
+
+// TestDynamicLinkingUnderLoad: many links, snapped lazily, all correct.
+func TestDynamicLinkingUnderLoad(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`
+        .seg    main
+        .bracket 4,4,4
+`)
+	const n = 12
+	for i := 0; i < n; i++ {
+		sb.WriteString("        stic    pr6|0,+1\n")
+		sb.WriteString("        call    lib" + string(rune('a'+i)) + "$f\n")
+	}
+	sb.WriteString(`        stic    pr6|0,+1
+        call    sysgates$exit
+`)
+	for i := 0; i < n; i++ {
+		name := "lib" + string(rune('a'+i))
+		sb.WriteString(`
+        .seg    ` + name + `
+        .bracket 1,1,5
+        .gate   f
+f:      eap5    *pr0|0
+        spr6    pr5|0
+        aia     1
+        eap6    *pr5|0
+        return  *pr6|0
+`)
+	}
+	s, _, err := sup.BootDeferred("alice", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Img.CPU.A = word.FromInt(0)
+	if _, err := s.Img.CPU.Run(100000); err != nil {
+		t.Fatalf("%v\naudit: %v", err, s.Audit)
+	}
+	if !s.Exited || s.ExitCode != n {
+		t.Errorf("exit %v/%d, want %d", s.Exited, s.ExitCode, n)
+	}
+	if s.LinksSnapped() != n+1 { // n libraries + sysgates$exit
+		t.Errorf("snapped %d, want %d", s.LinksSnapped(), n+1)
+	}
+}

@@ -1,0 +1,319 @@
+// Package asm implements a small two-pass assembler for the simulated
+// processor, sufficient to write the supervisor veneers, protected
+// subsystems and benchmark kernels of this reproduction in the machine's
+// own instruction set.
+//
+// # Source language
+//
+// One source file defines one or more segments. Lines have the form
+//
+//	[label:] [mnemonic|directive [operands]] [; comment]
+//
+// Directives:
+//
+//	.seg name            start a new segment
+//	.bracket r1,r2,r3    access brackets (default 4,4,4)
+//	.access rwe          access flags, any subset of "rwe" (default "re")
+//	.gate label          declare a gate; gates become a transfer vector
+//	                     at the start of the segment, in declaration order
+//	.entry label         export a non-gate symbol
+//	.word expr           assemble a data word
+//	.its ring, target    assemble an indirect word; target is a local
+//	                     label or seg$sym; a trailing ,* sets the
+//	                     further-indirection flag
+//	.string "text"       assemble packed 9-bit characters, NUL padded
+//	.bss n               reserve n zeroed words
+//	.equ name, expr      define an assembly-time constant
+//	.macro name [p,...]  define a macro (body until .endm; \p substitutes
+//	                     an argument, \@ a unique per-expansion suffix)
+//
+// Instruction operands:
+//
+//	lda 5            direct, same segment, word 5
+//	lda value        direct via local symbol
+//	lda value,x2     indexed by X2
+//	lda pr3|7        pointer-register relative
+//	lda *pr3|7       indirect through (PR3)+7
+//	lda *value       indirect through a local word
+//	lda other$sym    external: assembled as indirect through a link
+//	                 word the assembler places at the end of the segment
+//	call other$gate  external call through a link word
+//	lia -3           immediates are signed 18-bit values
+//	eap5 pr0|1       register-selecting mnemonics carry the register
+//	                 number as a suffix: eap0-eap7, spr0-spr7,
+//	                 ldx0-ldx7, stx0-stx7, lix0-lix7
+//	stic pr6|0,+1    STIC's ,+n suffix is the return-point displacement
+//
+// Numbers are decimal; the 0o prefix gives octal. Expressions are a
+// symbol or number plus an optional +n/-n offset.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Segment is one assembled segment.
+type Segment struct {
+	Name      string
+	Words     []word.Word
+	Brackets  core.Brackets
+	Read      bool
+	Write     bool
+	Execute   bool
+	GateCount uint32
+	// Exports maps exported symbol (gate or entry) to word number.
+	Exports map[string]uint32
+	// Relocs are the segment-number patches to apply once segment
+	// numbers are assigned.
+	Relocs []Reloc
+	// Symbols maps every label to its word number (for listings and
+	// tests).
+	Symbols map[string]uint32
+}
+
+// Reloc is a deferred indirect-word fix-up: the word at Wordno is an
+// indirect word whose segment (and possibly word) number cannot be
+// known until segments are placed.
+type Reloc struct {
+	Wordno    uint32
+	TargetSeg string // "" means this segment
+	TargetSym string // "" means the word number is already encoded
+}
+
+// Program is the result of assembling a source file.
+type Program struct {
+	Segments []*Segment
+}
+
+// Segment returns the named segment, or nil.
+func (p *Program) Segment(name string) *Segment {
+	for _, s := range p.Segments {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble assembles a source text.
+func Assemble(src string) (*Program, error) {
+	lines, err := expandMacros(splitLines(src))
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: build segment skeletons — labels, sizes, gates, links.
+	p1, err := passOne(lines)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 2: encode.
+	if err := passTwo(lines, p1); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for _, s := range p1.order {
+		prog.Segments = append(prog.Segments, p1.segs[s].finish())
+	}
+	if len(prog.Segments) == 0 {
+		return nil, fmt.Errorf("asm: no segments defined")
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble for tests and examples with known-good
+// source.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------
+
+type sourceLine struct {
+	num   int
+	label string
+	op    string
+	rest  string // operand text, comment stripped
+}
+
+func splitLines(src string) []sourceLine {
+	var out []sourceLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		// Strip the ';' comment, but not inside a string literal.
+		inString := false
+		for j := 0; j < len(line); j++ {
+			switch line[j] {
+			case '\\':
+				if inString {
+					j++ // skip the escaped character
+				}
+			case '"':
+				inString = !inString
+			case ';':
+				if !inString {
+					line = line[:j]
+					j = len(line)
+				}
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		sl := sourceLine{num: i + 1}
+		if idx := strings.IndexByte(line, ':'); idx >= 0 && !strings.ContainsAny(line[:idx], " \t") {
+			sl.label = line[:idx]
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			if len(fields) == 1 {
+				fields = strings.SplitN(line, "\t", 2)
+			}
+			sl.op = strings.ToLower(strings.TrimSpace(fields[0]))
+			if len(fields) > 1 {
+				sl.rest = strings.TrimSpace(fields[1])
+			}
+		}
+		if sl.label == "" && sl.op == "" {
+			continue
+		}
+		out = append(out, sl)
+	}
+	return out
+}
+
+// linkKey identifies a deduplicated external link word.
+type linkKey struct {
+	seg, sym string
+	further  bool
+}
+
+// buildSeg is a segment under construction.
+type buildSeg struct {
+	name        string
+	brackets    core.Brackets
+	read        bool
+	write       bool
+	execute     bool
+	gates       []string          // gate labels in declaration order
+	size        uint32            // words of code+data (excluding vector and links)
+	labels      map[string]uint32 // label -> offset within code+data area
+	equs        map[string]int64
+	entries     []string
+	links       map[linkKey]uint32 // link -> slot index in link area
+	linkOrder   []linkKey
+	words       []word.Word // pass 2 output (code+data area)
+	relocs      []Reloc
+	lineDefined int
+}
+
+func newBuildSeg(name string, line int) *buildSeg {
+	return &buildSeg{
+		name:        name,
+		brackets:    core.Brackets{R1: 4, R2: 4, R3: 4},
+		read:        true,
+		execute:     true,
+		labels:      map[string]uint32{},
+		equs:        map[string]int64{},
+		links:       map[linkKey]uint32{},
+		lineDefined: line,
+	}
+}
+
+// vectorLen returns the length of the gate transfer vector.
+func (b *buildSeg) vectorLen() uint32 { return uint32(len(b.gates)) }
+
+// addLink registers (or finds) a link word for an external reference
+// and returns its slot index within the link area.
+func (b *buildSeg) addLink(k linkKey) uint32 {
+	if slot, ok := b.links[k]; ok {
+		return slot
+	}
+	slot := uint32(len(b.linkOrder))
+	b.links[k] = slot
+	b.linkOrder = append(b.linkOrder, k)
+	return slot
+}
+
+// offsets: segment layout is [gate vector][code+data][links].
+func (b *buildSeg) codeBase() uint32 { return b.vectorLen() }
+func (b *buildSeg) linkBase() uint32 { return b.vectorLen() + b.size }
+
+// resolveSym returns the word number (within the whole segment) of a
+// local label, or the value of an equ.
+func (b *buildSeg) resolveSym(sym string) (uint32, bool) {
+	if off, ok := b.labels[sym]; ok {
+		return b.codeBase() + off, true
+	}
+	if v, ok := b.equs[sym]; ok {
+		return uint32(v) & 0o777777, true
+	}
+	return 0, false
+}
+
+func (b *buildSeg) finish() *Segment {
+	s := &Segment{
+		Name:      b.name,
+		Brackets:  b.brackets,
+		Read:      b.read,
+		Write:     b.write,
+		Execute:   b.execute,
+		GateCount: b.vectorLen(),
+		Exports:   map[string]uint32{},
+		Symbols:   map[string]uint32{},
+		Relocs:    b.relocs,
+		Words:     b.words,
+	}
+	for i, g := range b.gates {
+		s.Exports[g] = uint32(i) // gate entry point is its vector slot
+	}
+	for _, e := range b.entries {
+		off, ok := b.resolveSym(e)
+		if !ok {
+			// Callers were validated in passTwo; reaching here means a
+			// missed validation — surface it rather than exporting junk.
+			panic(fmt.Sprintf("asm: segment %q exports undefined %q", b.name, e))
+		}
+		s.Exports[e] = off
+	}
+	for l := range b.labels {
+		if off, ok := b.resolveSym(l); ok {
+			s.Symbols[l] = off
+		}
+	}
+	return s
+}
+
+type passState struct {
+	segs  map[string]*buildSeg
+	order []string
+}
+
+func (ps *passState) current(line int) (*buildSeg, error) {
+	if len(ps.order) == 0 {
+		return nil, errf(line, "statement before any .seg directive")
+	}
+	return ps.segs[ps.order[len(ps.order)-1]], nil
+}

@@ -1,0 +1,677 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+func TestAssembleMinimal(t *testing.T) {
+	prog, err := Assemble(`
+        .seg    main
+        lia     42
+        hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Segment("main")
+	if s == nil {
+		t.Fatal("no main segment")
+	}
+	if len(s.Words) != 2 {
+		t.Fatalf("words: %d", len(s.Words))
+	}
+	in := isa.DecodeInstruction(s.Words[0])
+	if in.Op != isa.LIA || in.Offset != 42 {
+		t.Errorf("first word: %v", in)
+	}
+}
+
+func TestDefaultsAndDirectives(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+        .bracket 1,2,5
+        .access rw
+        nop
+`)
+	s := prog.Segment("s")
+	if s.Brackets != (core.Brackets{R1: 1, R2: 2, R3: 5}) {
+		t.Errorf("brackets: %+v", s.Brackets)
+	}
+	if !s.Read || !s.Write || s.Execute {
+		t.Errorf("flags: r=%v w=%v e=%v", s.Read, s.Write, s.Execute)
+	}
+}
+
+func TestLabelsAndExpressions(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+        .equ    K, 3
+start:  lda     val
+        lda     val+1
+        lda     tbl,x2
+        lia     K
+        hlt
+val:    .word   7
+        .word   9
+tbl:    .bss    4
+`)
+	s := prog.Segment("s")
+	if s.Symbols["val"] != 5 {
+		t.Errorf("val at %d", s.Symbols["val"])
+	}
+	in0 := isa.DecodeInstruction(s.Words[0])
+	if in0.Offset != 5 {
+		t.Errorf("lda val offset %d", in0.Offset)
+	}
+	in1 := isa.DecodeInstruction(s.Words[1])
+	if in1.Offset != 6 {
+		t.Errorf("lda val+1 offset %d", in1.Offset)
+	}
+	in2 := isa.DecodeInstruction(s.Words[2])
+	if in2.Tag != 3 { // x2 -> tag 3
+		t.Errorf("index tag %d", in2.Tag)
+	}
+	if in2.Offset != 7 {
+		t.Errorf("tbl offset %d", in2.Offset)
+	}
+	in3 := isa.DecodeInstruction(s.Words[3])
+	if in3.Offset != 3 {
+		t.Errorf("equ value %d", in3.Offset)
+	}
+	if s.Words[5].Int64() != 7 || s.Words[6].Int64() != 9 {
+		t.Error(".word values wrong")
+	}
+}
+
+func TestOperandForms(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+        lda     pr3|7
+        lda     *pr3|7
+        lda     *loc
+        sta     pr6|2
+        eap5    pr0|1
+        spr6    pr5|0
+        stic    pr6|0,+1
+        lix2    4
+        svc     9
+        als     2
+        lia     -1
+loc:    .word   0
+`)
+	s := prog.Segment("s")
+	tests := []struct {
+		i    int
+		want isa.Instruction
+	}{
+		{0, isa.Instruction{Op: isa.LDA, PRRel: true, PR: 3, Offset: 7}},
+		{1, isa.Instruction{Op: isa.LDA, Ind: true, PRRel: true, PR: 3, Offset: 7}},
+		{2, isa.Instruction{Op: isa.LDA, Ind: true, Offset: 11}},
+		{3, isa.Instruction{Op: isa.STA, PRRel: true, PR: 6, Offset: 2}},
+		{4, isa.Instruction{Op: isa.EAP, PRRel: true, PR: 0, Tag: 5, Offset: 1}},
+		{5, isa.Instruction{Op: isa.SPR, PRRel: true, PR: 5, Tag: 6, Offset: 0}},
+		{6, isa.Instruction{Op: isa.STIC, PRRel: true, PR: 6, Tag: 1, Offset: 0}},
+		{7, isa.Instruction{Op: isa.LIX, Tag: 2, Offset: 4}},
+		{8, isa.Instruction{Op: isa.SVC, Offset: 9}},
+		{9, isa.Instruction{Op: isa.ALS, Offset: 2}},
+		{10, isa.Instruction{Op: isa.LIA, Offset: 0o777777}},
+	}
+	for _, tc := range tests {
+		got := isa.DecodeInstruction(s.Words[tc.i])
+		if got != tc.want {
+			t.Errorf("word %d: got %+v want %+v", tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestGatesBuildTransferVector(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    svc
+        .bracket 1,1,5
+        .gate   alpha
+        .gate   beta
+alpha:  lia     1
+        hlt
+beta:   lia     2
+        hlt
+`)
+	s := prog.Segment("svc")
+	if s.GateCount != 2 {
+		t.Fatalf("gates: %d", s.GateCount)
+	}
+	// Vector: word 0 -> tra alpha (word 2), word 1 -> tra beta (word 4).
+	v0 := isa.DecodeInstruction(s.Words[0])
+	v1 := isa.DecodeInstruction(s.Words[1])
+	if v0.Op != isa.TRA || v0.Offset != 2 {
+		t.Errorf("gate 0: %+v", v0)
+	}
+	if v1.Op != isa.TRA || v1.Offset != 4 {
+		t.Errorf("gate 1: %+v", v1)
+	}
+	if s.Exports["alpha"] != 0 || s.Exports["beta"] != 1 {
+		t.Errorf("exports: %v", s.Exports)
+	}
+}
+
+func TestExternalLinks(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    a
+        call    b$go
+        call    b$go        ; deduplicated
+        lda     b$value
+        hlt
+
+        .seg    b
+        .gate   go
+go:     hlt
+        .entry  value
+value:  .word   33
+`)
+	a := prog.Segment("a")
+	// 4 body words + 2 links (b$go and b$value).
+	if len(a.Words) != 6 {
+		t.Fatalf("a words: %d", len(a.Words))
+	}
+	c0 := isa.DecodeInstruction(a.Words[0])
+	c1 := isa.DecodeInstruction(a.Words[1])
+	if !c0.Ind || c0.Offset != 4 || c1.Offset != 4 {
+		t.Errorf("calls not through shared link: %+v %+v", c0, c1)
+	}
+	l := isa.DecodeInstruction(a.Words[2])
+	if !l.Ind || l.Offset != 5 {
+		t.Errorf("lda link: %+v", l)
+	}
+	if len(a.Relocs) != 2 {
+		t.Errorf("relocs: %+v", a.Relocs)
+	}
+}
+
+func TestItsDirective(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+ptr:    .its    4, target
+ptr2:   .its    0, other$thing, *
+target: .word   5
+
+        .seg    other
+        .entry  thing
+thing:  .word   9
+`)
+	s := prog.Segment("s")
+	ind := isa.DecodeIndirect(s.Words[0])
+	if ind.Ring != 4 || ind.Wordno != 2 || ind.Further {
+		t.Errorf("its local: %+v", ind)
+	}
+	ind2 := isa.DecodeIndirect(s.Words[1])
+	if !ind2.Further || ind2.Ring != 0 {
+		t.Errorf("its external: %+v", ind2)
+	}
+	if len(s.Relocs) != 2 {
+		t.Errorf("relocs: %+v", s.Relocs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no seg", "nop\n", "before any .seg"},
+		{"dup seg", ".seg a\n.seg a\n", "duplicate segment"},
+		{"dup label", ".seg a\nx: nop\nx: nop\n", "duplicate label"},
+		{"bad mnemonic", ".seg a\nfrob 1\n", "unknown mnemonic"},
+		{"bad bracket", ".seg a\n.bracket 5,2,1\n", "brackets"},
+		{"bad access", ".seg a\n.access rq\n", "unknown flag"},
+		{"undefined sym", ".seg a\nlda nowhere\n", "undefined symbol"},
+		{"gate without label", ".seg a\n.gate nosuch\nnop\n", "no such label"},
+		{"hlt operand", ".seg a\nhlt 3\n", "takes no operand"},
+		{"missing operand", ".seg a\nlda\n", "needs an operand"},
+		{"missing immediate", ".seg a\nlia\n", "needs a value"},
+		{"bad ring its", ".seg a\n.its 9, x\nx: nop\n", "bad ring"},
+		{"empty", "", "no segments"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+        lia     0o777
+        lia     255
+        hlt
+`)
+	s := prog.Segment("s")
+	if got := isa.DecodeInstruction(s.Words[0]).Offset; got != 0o777 {
+		t.Errorf("octal: %o", got)
+	}
+	if got := isa.DecodeInstruction(s.Words[1]).Offset; got != 255 {
+		t.Errorf("decimal: %d", got)
+	}
+}
+
+// ---- end-to-end: assemble, link, run ----
+
+func TestEndToEndSameRing(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    main
+        lia     5
+        sta     scratch
+        lda     scratch
+        aia     2
+        hlt
+scratch: .word  0
+`)
+	// main needs write access to itself for the scratch word.
+	prog.Segment("main").Write = true
+	img, err := BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.A.Int64() != 7 {
+		t.Errorf("A = %d", img.CPU.A.Int64())
+	}
+}
+
+// TestEndToEndCrossRing assembles the paper's full calling convention —
+// caller in ring 4, gated service in ring 1, frame management, return
+// through the restored stack pointer — and runs it without any
+// supervisor involvement.
+func TestEndToEndCrossRing(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1        ; save return point in caller frame
+        call    service$serve   ; downward call through the gate
+        hlt                     ; A holds the service result
+
+        .seg    service
+        .bracket 1,1,5
+        .gate   serve
+serve:  eap5    pr0|1           ; frame pointer = ring-1 stack base + 1
+        spr6    pr5|0           ; save caller stack pointer in frame
+        lia     1234            ; the service's work
+        eap6    *pr5|0          ; restore caller stack pointer (with ring)
+        return  *pr6|0          ; return through caller's return point
+`)
+	img, err := BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	if c.A.Int64() != 1234 {
+		t.Errorf("A = %d", c.A.Int64())
+	}
+	if c.IPR.Ring != 4 {
+		t.Errorf("final ring %d", c.IPR.Ring)
+	}
+	if c.SavedDepth() != 0 {
+		t.Error("trap save stack not empty: something trapped")
+	}
+}
+
+// TestEndToEndArguments passes an argument list across a downward call
+// per the paper's convention (PRa = PR1 points at indirect words) and
+// has the service read and write an argument with automatic validation.
+func TestEndToEndArguments(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        eap1    arglist         ; PRa := argument list (ring 4 via IPR)
+        stic    pr6|0,+1
+        call    adder$add2      ; service adds arg0+arg1, stores in arg2
+        lda     result
+        hlt
+arglist: .its   4, x
+        .its    4, y
+        .its    4, result
+x:      .word   30
+y:      .word   12
+result: .word   0
+
+        .seg    adder
+        .bracket 1,1,5
+        .gate   add2
+add2:   eap5    pr0|1
+        spr6    pr5|0
+        lda     *pr1|0          ; read arg 0 (validated in ring 4)
+        ada     *pr1|1          ; add arg 1
+        sta     *pr1|2          ; store into arg 2
+        eap6    *pr5|0
+        return  *pr6|0
+`)
+	img, err := BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.A.Int64() != 42 {
+		t.Errorf("A = %d, want 42", img.CPU.A.Int64())
+	}
+}
+
+// TestEndToEndArgumentValidation: the caller (ring 4) passes a pointer
+// into supervisor data; the ring-1 service dereferences it and must be
+// stopped by the automatic effective-ring validation even though ring 1
+// itself could read the segment.
+func TestEndToEndArgumentValidation(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        eap1    arglist
+        stic    pr6|0,+1
+        call    leaky$echo
+        hlt
+arglist: .its   4, secrets$base
+
+        .seg    leaky
+        .bracket 1,1,5
+        .gate   echo
+echo:   lda     *pr1|0          ; validated in ring 4 -> violation
+        return  *pr6|0
+`)
+	img, err := BuildImage(image.Config{}, prog,
+		image.SegmentDef{
+			Name: "secrets", Size: 8,
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: 1, R2: 1, R3: 1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = img.CPU.Run(200)
+	if err == nil {
+		t.Fatal("leak not caught")
+	}
+	if !strings.Contains(err.Error(), "read bracket") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The violation was raised with the caller's effective ring.
+	if img.CPU.TPR.Ring != 4 {
+		t.Errorf("effective ring %d, want 4", img.CPU.TPR.Ring)
+	}
+}
+
+func TestBuildImageUndefinedExternal(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    a
+        call    ghost$fn
+        hlt
+`)
+	if _, err := BuildImage(image.Config{}, prog); err == nil {
+		t.Fatal("undefined segment not caught at link time")
+	}
+}
+
+func TestLinkPatchesItsWords(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    a
+p:      .its    4, q
+q:      .word   1
+
+        .seg    b
+r:      .its    2, a$base
+`)
+	img, err := BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSeg, _ := img.Segno("a")
+	w, _ := img.ReadWord("a", 0)
+	ind := isa.DecodeIndirect(w)
+	if ind.Segno != aSeg || ind.Wordno != 1 {
+		t.Errorf("local its: %+v", ind)
+	}
+	w, _ = img.ReadWord("b", 0)
+	ind = isa.DecodeIndirect(w)
+	if ind.Segno != aSeg || ind.Wordno != 0 || ind.Ring != 2 {
+		t.Errorf("external its: %+v", ind)
+	}
+}
+
+func TestEntryUndefinedLabel(t *testing.T) {
+	_, err := Assemble(".seg a\n.entry ghost\nnop\n")
+	if err == nil || !strings.Contains(err.Error(), "no such label") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestArgumentChainDownwardCalls reproduces the paper's footnote: "The
+// RING field of an argument list indirect word will specify the ring
+// which originally provided the argument", so validation is correct
+// when an argument is passed along a chain of downward calls. Ring 5
+// builds the argument list; ring 3 passes it through to ring 1; ring 1
+// dereferences it and is validated as ring 5 — reading what ring 5 may
+// read, denied what ring 5 may not, even though ring 3 (the middleman)
+// could have read it.
+func TestArgumentChainDownwardCalls(t *testing.T) {
+	const chain = `
+        .seg    top
+        .bracket 5,5,5
+        .access rwe
+        eap1    args
+        stic    pr6|0,+1
+        call    middle$m
+        hlt
+args:   .its    5, ok5$base
+        .its    5, only3$base
+
+        .seg    middle
+        .bracket 3,3,5
+        .gate   m
+m:      eap5    *pr0|0
+        spr6    pr5|1
+        spr0    pr5|2
+        eap4    pr5|4
+        spr4    pr0|0
+        eap6    pr5|0
+        stic    pr6|0,+1
+        call    bottom$b        ; PR1 (the argument list) passes through
+        eap4    *pr6|2
+        spr6    pr4|0
+        eap6    *pr6|1
+        return  *pr6|0
+
+        .seg    bottom
+        .bracket 1,1,5
+        .gate   b
+b:      eap5    *pr0|0
+        spr6    pr5|0
+        lda     ARGSLOT         ; placeholder word; patched to *pr1|k below
+        eap6    *pr5|0
+        return  *pr6|0
+        .equ    ARGSLOT, 0
+`
+	build := func(argIndex uint32) *image.Image {
+		t.Helper()
+		prog := MustAssemble(chain)
+		img, err := BuildImage(image.Config{}, prog,
+			image.SegmentDef{
+				Name: "ok5", Words: []word.Word{word.FromInt(77)},
+				Read: true, Brackets: core.Brackets{R1: 1, R2: 5, R3: 5},
+			},
+			image.SegmentDef{
+				Name: "only3", Words: []word.Word{word.FromInt(88)},
+				Read: true, Brackets: core.Brackets{R1: 1, R2: 3, R3: 3},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Patch bottom's load to `lda *pr1|argIndex`.
+		ldaOff := prog.Segment("bottom").Symbols["b"] // vector is word 0; b is word 1
+		ldaOff += 2                                   // eap5, spr6, then the lda
+		ins := isa.Instruction{Op: isa.LDA, Ind: true, PRRel: true, PR: 1, Offset: argIndex}
+		if err := img.WriteWord("bottom", ldaOff, ins.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Start(5, "top", 0); err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+
+	// Argument 0: readable by the originating ring 5 — the chain works.
+	img := build(0)
+	if _, err := img.CPU.Run(1000); err != nil {
+		t.Fatalf("arg readable by ring 5: %v", err)
+	}
+	if img.CPU.A.Int64() != 77 {
+		t.Errorf("A = %d, want 77", img.CPU.A.Int64())
+	}
+	if img.CPU.IPR.Ring != 5 {
+		t.Errorf("final ring %d", img.CPU.IPR.Ring)
+	}
+
+	// Argument 1: readable by ring 3 (the middleman) but NOT by ring 5
+	// (the originator) — ring 1's dereference must be denied in ring 5.
+	img = build(1)
+	_, err := img.CPU.Run(1000)
+	if err == nil {
+		t.Fatal("origin-ring validation did not happen")
+	}
+	if !strings.Contains(err.Error(), "read bracket") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if img.CPU.TPR.Ring != 5 {
+		t.Errorf("validated in ring %d, want 5 (the originating ring)", img.CPU.TPR.Ring)
+	}
+}
+
+func TestStringDirective(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+msg:    .string "Hi; there\n"   ; trailing comment survives
+        .word   7
+`)
+	seg := prog.Segment("s")
+	packed := word.PackChars("Hi; there\n")
+	if len(seg.Words) != len(packed)+1 {
+		t.Fatalf("words: %d, want %d", len(seg.Words), len(packed)+1)
+	}
+	for i, w := range packed {
+		if seg.Words[i] != w {
+			t.Errorf("word %d = %v, want %v", i, seg.Words[i], w)
+		}
+	}
+	if seg.Words[len(packed)].Int64() != 7 {
+		t.Error("following .word misplaced")
+	}
+	if got := word.UnpackChars(seg.Words[:len(packed)]); got != "Hi; there\n" {
+		t.Errorf("unpacked %q", got)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+        .string "a\tb\\c\"d"
+`)
+	got := word.UnpackChars(prog.Segment("s").Words)
+	if got != "a\tb\\c\"d" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	for _, src := range []string{
+		".seg a\n.string unquoted\n",
+		".seg a\n.string \"dangling\\\"\n",
+		".seg a\n.string \"bad \\q escape\"\n",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestLinkDeferredSelfRelocsSnapImmediately(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    a
+p:      .its    4, q            ; self-reloc: snapped at load
+        call    b$go            ; external: deferred
+q:      .word   1
+        hlt
+
+        .seg    b
+        .bracket 1,1,5
+        .gate   go
+go:     hlt
+`)
+	img, err := image.Build(image.Config{}, []image.SegmentDef{
+		{Name: "a", Words: prog.Segment("a").Words, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 4, R3: 4}},
+		{Name: "b", Words: prog.Segment("b").Words, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 1, R2: 1, R3: 5}, Gates: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fault = 200
+	table, err := LinkDeferred(img, prog, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 1 || table[0].TargetSeg != "b" || table[0].TargetSym != "go" {
+		t.Fatalf("table: %+v", table)
+	}
+	aSeg, _ := img.Segno("a")
+	// The self-reloc is snapped.
+	w, _ := img.ReadWord("a", 0)
+	if got := isa.DecodeIndirect(w); got.Segno != aSeg || got.Wordno != 2 {
+		t.Errorf("self reloc: %+v", got)
+	}
+	// The external link points at the fault segment with id 0.
+	linkOff := table[0].Wordno
+	w, _ = img.ReadWord("a", linkOff)
+	if got := isa.DecodeIndirect(w); got.Segno != fault || got.Wordno != 0 {
+		t.Errorf("deferred link: %+v", got)
+	}
+	// ResolveDeferred computes the real target.
+	segno, wordno, err := ResolveDeferred(img, prog, table[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSeg, _ := img.Segno("b")
+	if segno != bSeg || wordno != 0 {
+		t.Errorf("resolved to (%o|%o)", segno, wordno)
+	}
+	// Resolution of a missing target errors.
+	if _, _, err := ResolveDeferred(img, prog, DeferredLink{TargetSeg: "ghost"}); err == nil {
+		t.Error("ghost target resolved")
+	}
+}

@@ -1,0 +1,48 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+)
+
+// Assembling a gated service shows the transfer vector: gate word 0 is
+// a TRA to the real entry, and the exported gate name resolves to the
+// vector slot.
+func ExampleAssemble() {
+	prog, err := asm.Assemble(`
+        .seg    svc
+        .bracket 1,1,5
+        .gate   serve
+serve:  lia     7
+        hlt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := prog.Segment("svc")
+	fmt.Println("gates:", s.GateCount)
+	fmt.Println("serve exported at word:", s.Exports["serve"])
+	fmt.Println("words:", len(s.Words))
+	// Output:
+	// gates: 1
+	// serve exported at word: 0
+	// words: 3
+}
+
+// The listing renders every word with its offset, octal value, labels
+// and disassembly.
+func ExampleProgram_Listing() {
+	prog := asm.MustAssemble(`
+        .seg    tiny
+        lia     5
+        hlt
+`)
+	fmt.Print(prog.Listing())
+	// Output:
+	// segment tiny  r-e  brackets 4,4,4  gates 0
+	//   000000  020000000005               lia 5
+	//   000001  002000000000               hlt 0
+	//
+}

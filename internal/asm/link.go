@@ -1,0 +1,171 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// BuildImage assembles the program's segments into a machine image and
+// resolves every inter-segment reference (link words and .its words).
+// Extra non-assembled segments (pure data, ACL-derived, etc.) may be
+// appended; assembled code may refer to their word 0 by `name$base`.
+func BuildImage(cfg image.Config, prog *Program, extra ...image.SegmentDef) (*image.Image, error) {
+	var defs []image.SegmentDef
+	for _, s := range prog.Segments {
+		defs = append(defs, image.SegmentDef{
+			Name:     s.Name,
+			Words:    s.Words,
+			Read:     s.Read,
+			Write:    s.Write,
+			Execute:  s.Execute,
+			Brackets: s.Brackets,
+			Gates:    s.GateCount,
+		})
+	}
+	defs = append(defs, extra...)
+	img, err := image.Build(cfg, defs)
+	if err != nil {
+		return nil, err
+	}
+	if err := Link(img, prog); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Space is an address space the linker can patch: anything that maps
+// segment names to numbers and allows console-privilege word access.
+// image.Image implements it; so does the multi-process system in
+// internal/proc.
+type Space interface {
+	Segno(name string) (uint32, error)
+	ReadWord(name string, wordno uint32) (word.Word, error)
+	WriteWord(name string, wordno uint32, w word.Word) error
+}
+
+// Link patches every relocation in prog against the segment numbers
+// assigned in space. Assembled segments must already be present.
+func Link(space Space, prog *Program) error {
+	for _, s := range prog.Segments {
+		segno, err := space.Segno(s.Name)
+		if err != nil {
+			return fmt.Errorf("asm: link: %w", err)
+		}
+		for _, r := range s.Relocs {
+			raw, err := space.ReadWord(s.Name, r.Wordno)
+			if err != nil {
+				return fmt.Errorf("asm: link %s+%o: %w", s.Name, r.Wordno, err)
+			}
+			ind := isa.DecodeIndirect(raw)
+			if r.TargetSeg == "" {
+				ind.Segno = segno
+			} else {
+				tseg, err := space.Segno(r.TargetSeg)
+				if err != nil {
+					return fmt.Errorf("asm: link %s+%o: undefined segment %q",
+						s.Name, r.Wordno, r.TargetSeg)
+				}
+				ind.Segno = tseg
+				if r.TargetSym != "" {
+					off, err := exportOffset(prog, r.TargetSeg, r.TargetSym)
+					if err != nil {
+						return fmt.Errorf("asm: link %s+%o: %w", s.Name, r.Wordno, err)
+					}
+					ind.Wordno = off
+				}
+			}
+			if err := space.WriteWord(s.Name, r.Wordno, ind.Encode()); err != nil {
+				return fmt.Errorf("asm: link %s+%o: %w", s.Name, r.Wordno, err)
+			}
+		}
+	}
+	return nil
+}
+
+// exportOffset resolves seg$sym. The pseudo-symbol "base" names word 0
+// of any segment, assembled or not.
+func exportOffset(prog *Program, segName, sym string) (uint32, error) {
+	if sym == "base" {
+		return 0, nil
+	}
+	s := prog.Segment(segName)
+	if s == nil {
+		return 0, fmt.Errorf("segment %q is not assembled and %q is not \"base\"", segName, sym)
+	}
+	off, ok := s.Exports[sym]
+	if !ok {
+		return 0, fmt.Errorf("segment %q does not export %q", segName, sym)
+	}
+	return off, nil
+}
+
+// DeferredLink describes one unsnapped link word: where it lives and
+// what it must eventually point at.
+type DeferredLink struct {
+	OwnerSeg  string // segment containing the link word
+	Wordno    uint32 // link word's position in OwnerSeg
+	TargetSeg string
+	TargetSym string // "" means word 0 / already-encoded offset
+}
+
+// LinkDeferred resolves self-relocations normally but leaves every
+// inter-segment link word UNSNAPPED: the word is rewritten to point
+// into the (absent) fault segment, with its word number carrying the
+// link's index in the returned table. The first reference through such
+// a word raises a missing-segment fault that a linkage-fault handler
+// (internal/sup RegisterLazyLinks) resolves by snapping the link — the
+// dynamic linking discipline of Multics, reproduced on this machine's
+// indirect words.
+func LinkDeferred(space Space, prog *Program, faultSegno uint32) ([]DeferredLink, error) {
+	var table []DeferredLink
+	for _, s := range prog.Segments {
+		segno, err := space.Segno(s.Name)
+		if err != nil {
+			return nil, fmt.Errorf("asm: deferred link: %w", err)
+		}
+		for _, r := range s.Relocs {
+			raw, err := space.ReadWord(s.Name, r.Wordno)
+			if err != nil {
+				return nil, err
+			}
+			ind := isa.DecodeIndirect(raw)
+			if r.TargetSeg == "" {
+				// Self-relocation: snap now, as usual.
+				ind.Segno = segno
+				if err := space.WriteWord(s.Name, r.Wordno, ind.Encode()); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			id := uint32(len(table))
+			table = append(table, DeferredLink{
+				OwnerSeg:  s.Name,
+				Wordno:    r.Wordno,
+				TargetSeg: r.TargetSeg,
+				TargetSym: r.TargetSym,
+			})
+			ind.Segno = faultSegno
+			ind.Wordno = id
+			if err := space.WriteWord(s.Name, r.Wordno, ind.Encode()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return table, nil
+}
+
+// ResolveDeferred computes the final pointer a deferred link must hold.
+func ResolveDeferred(space Space, prog *Program, d DeferredLink) (segno, wordno uint32, err error) {
+	segno, err = space.Segno(d.TargetSeg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d.TargetSym == "" {
+		return segno, 0, nil
+	}
+	wordno, err = exportOffset(prog, d.TargetSeg, d.TargetSym)
+	return segno, wordno, err
+}

@@ -1,0 +1,80 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// Disassemble renders one word both as an instruction and, when its
+// fields make sense as one, as an indirect word.
+func Disassemble(w word.Word) string {
+	ins := isa.DecodeInstruction(w)
+	if _, ok := isa.Lookup(ins.Op); ok {
+		return ins.String()
+	}
+	ind := isa.DecodeIndirect(w)
+	return fmt.Sprintf(".its %d, (%o|%o)%s", ind.Ring, ind.Segno, ind.Wordno,
+		map[bool]string{true: ", *", false: ""}[ind.Further])
+}
+
+// Listing renders the assembled program: per segment, the access
+// attributes and every word with its offset, octal value, symbolic
+// label and disassembly.
+func (p *Program) Listing() string {
+	var sb strings.Builder
+	for _, s := range p.Segments {
+		flag := func(b bool, c string) string {
+			if b {
+				return c
+			}
+			return "-"
+		}
+		fmt.Fprintf(&sb, "segment %s  %s%s%s  brackets %d,%d,%d  gates %d\n",
+			s.Name,
+			flag(s.Read, "r"), flag(s.Write, "w"), flag(s.Execute, "e"),
+			s.Brackets.R1, s.Brackets.R2, s.Brackets.R3, s.GateCount)
+
+		// Invert the symbol table: offset -> labels.
+		labels := map[uint32][]string{}
+		for name, off := range s.Symbols {
+			labels[off] = append(labels[off], name)
+		}
+		for off := range labels {
+			sort.Strings(labels[off])
+		}
+		relocAt := map[uint32]Reloc{}
+		for _, r := range s.Relocs {
+			relocAt[r.Wordno] = r
+		}
+
+		for i, w := range s.Words {
+			off := uint32(i)
+			label := ""
+			if ls, ok := labels[off]; ok {
+				label = strings.Join(ls, ",") + ":"
+			}
+			note := ""
+			if r, ok := relocAt[off]; ok {
+				target := r.TargetSeg
+				if target == "" {
+					target = s.Name
+				}
+				if r.TargetSym != "" {
+					target += "$" + r.TargetSym
+				}
+				note = "  ; -> " + target
+			}
+			if off < s.GateCount {
+				note += "  ; gate"
+			}
+			fmt.Fprintf(&sb, "  %06o  %012o  %-12s %s%s\n",
+				off, w.Uint64(), label, Disassemble(w), note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,66 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+func TestDisassembleInstruction(t *testing.T) {
+	w := isa.Instruction{Op: isa.LDA, PRRel: true, PR: 3, Offset: 7}.Encode()
+	s := Disassemble(w)
+	if !strings.Contains(s, "lda") || !strings.Contains(s, "pr3|") {
+		t.Errorf("disassembly: %q", s)
+	}
+}
+
+func TestDisassembleUnknownAsIndirect(t *testing.T) {
+	w := isa.Indirect{Ring: 4, Segno: 0o12, Wordno: 0o34, Further: true}.Encode()
+	// The indirect encoding decodes to an undefined opcode, so the
+	// fallback rendering applies.
+	s := Disassemble(w)
+	if !strings.Contains(s, ".its 4") || !strings.Contains(s, "(12|34)") || !strings.Contains(s, "*") {
+		t.Errorf("disassembly: %q", s)
+	}
+}
+
+func TestListingContent(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    svc
+        .bracket 1,1,5
+        .gate   go
+go:     lia     3
+        call    other$fn
+        hlt
+val:    .word   42
+
+        .seg    other
+        .gate   fn
+fn:     hlt
+`)
+	lst := prog.Listing()
+	for _, want := range []string{
+		"segment svc", "brackets 1,1,5", "gates 1",
+		"go:", "val:", "lia", "; gate", "; -> other$fn",
+		"segment other",
+	} {
+		if !strings.Contains(lst, want) {
+			t.Errorf("listing missing %q:\n%s", want, lst)
+		}
+	}
+}
+
+func TestListingRoundTripsWordValues(t *testing.T) {
+	prog := MustAssemble(`
+        .seg    s
+        lia     5
+        hlt
+`)
+	lst := prog.Listing()
+	w := word.Word(isa.Instruction{Op: isa.LIA, Offset: 5}.Encode())
+	if !strings.Contains(lst, w.String()) {
+		t.Errorf("octal value %s missing from listing:\n%s", w, lst)
+	}
+}

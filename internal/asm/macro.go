@@ -1,0 +1,171 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Macro facility. Definitions:
+//
+//	.macro name [param[,param...]]
+//	  ... body lines, which may reference \param and the unique
+//	  expansion suffix \@ (for local labels) ...
+//	.endm
+//
+// An invocation is a line whose mnemonic is the macro's name; its
+// comma-separated operands bind the parameters textually. Macros may
+// invoke other macros (expansion depth is bounded). Because binding is
+// textual, an argument cannot itself contain a comma.
+//
+// StdMacros packages this codebase's calling convention (DESIGN.md,
+// "Software calling convention") as macros: leafenter/leafexit for
+// procedures that call nothing further, procenter/procexit for
+// procedures that do, and callg for the save-return-point-and-call
+// sequence.
+
+// maxMacroDepth bounds nested expansion (a self-recursive macro would
+// otherwise expand forever).
+const maxMacroDepth = 8
+
+type macroDef struct {
+	name   string
+	params []string
+	body   []sourceLine
+	line   int
+}
+
+// expandMacros collects .macro/.endm definitions and expands every
+// invocation, returning the flat line stream.
+func expandMacros(lines []sourceLine) ([]sourceLine, error) {
+	defs := map[string]*macroDef{}
+	var stripped []sourceLine
+	var cur *macroDef
+	for _, ln := range lines {
+		switch {
+		case ln.op == ".macro":
+			if cur != nil {
+				return nil, errf(ln.num, "nested .macro definition")
+			}
+			fields := strings.Fields(ln.rest)
+			if len(fields) == 0 {
+				return nil, errf(ln.num, ".macro needs a name")
+			}
+			name := strings.ToLower(fields[0])
+			if _, dup := defs[name]; dup {
+				return nil, errf(ln.num, "duplicate macro %q", name)
+			}
+			params := splitArgs(strings.Join(fields[1:], " "))
+			cur = &macroDef{name: name, params: params, line: ln.num}
+		case ln.op == ".endm":
+			if cur == nil {
+				return nil, errf(ln.num, ".endm without .macro")
+			}
+			defs[cur.name] = cur
+			cur = nil
+		case cur != nil:
+			cur.body = append(cur.body, ln)
+		default:
+			stripped = append(stripped, ln)
+		}
+	}
+	if cur != nil {
+		return nil, errf(cur.line, "unterminated .macro %q", cur.name)
+	}
+	if len(defs) == 0 {
+		return stripped, nil
+	}
+
+	counter := 0
+	var expand func(lines []sourceLine, depth int) ([]sourceLine, error)
+	expand = func(lines []sourceLine, depth int) ([]sourceLine, error) {
+		var out []sourceLine
+		for _, ln := range lines {
+			m, ok := defs[ln.op]
+			if !ok {
+				out = append(out, ln)
+				continue
+			}
+			if depth >= maxMacroDepth {
+				return nil, errf(ln.num, "macro expansion deeper than %d (recursive macro %q?)",
+					maxMacroDepth, m.name)
+			}
+			args := splitArgs(ln.rest)
+			if len(args) != len(m.params) {
+				return nil, errf(ln.num, "macro %q takes %d argument(s), got %d",
+					m.name, len(m.params), len(args))
+			}
+			counter++
+			suffix := fmt.Sprintf("_m%d", counter)
+			sub := func(s string) string {
+				for i, p := range m.params {
+					s = strings.ReplaceAll(s, `\`+p, args[i])
+				}
+				return strings.ReplaceAll(s, `\@`, suffix)
+			}
+			var body []sourceLine
+			for _, bl := range m.body {
+				nl := sourceLine{
+					num:   ln.num, // report errors at the invocation
+					label: sub(bl.label),
+					op:    strings.ToLower(sub(bl.op)),
+					rest:  sub(bl.rest),
+				}
+				body = append(body, nl)
+			}
+			// The invocation's own label, if any, attaches to the first
+			// expanded line.
+			if ln.label != "" {
+				if len(body) == 0 {
+					body = []sourceLine{{num: ln.num, label: ln.label}}
+				} else if body[0].label == "" {
+					body[0].label = ln.label
+				} else {
+					return nil, errf(ln.num, "macro %q starts with a label; invocation label %q has nowhere to go",
+						m.name, ln.label)
+				}
+			}
+			expanded, err := expand(body, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, expanded...)
+		}
+		return out, nil
+	}
+	return expand(stripped, 0)
+}
+
+// StdMacros is the calling convention as macros. Prepend it (or
+// GateSource+StdMacros) to program source to use them.
+const StdMacros = `
+        .macro  leafenter
+        eap5    *pr0|0
+        spr6    pr5|0
+        .endm
+
+        .macro  leafexit
+        eap6    *pr5|0
+        return  *pr6|0
+        .endm
+
+        .macro  procenter
+        eap5    *pr0|0
+        spr6    pr5|1
+        spr0    pr5|2
+        eap4    pr5|4
+        spr4    pr0|0
+        eap6    pr5|0
+        .endm
+
+        .macro  procexit
+        eap4    *pr6|2
+        spr6    pr4|0
+        eap6    *pr6|1
+        return  *pr6|0
+        .endm
+
+        .macro  callg target
+        stic    pr6|0,+1
+        call    \target
+        .endm
+`

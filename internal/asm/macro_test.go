@@ -1,0 +1,180 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+func TestMacroBasicExpansion(t *testing.T) {
+	prog := MustAssemble(`
+        .macro  twice val
+        lia     \val
+        aia     \val
+        .endm
+
+        .seg    s
+        twice   5
+        hlt
+`)
+	ws := prog.Segment("s").Words
+	if len(ws) != 3 {
+		t.Fatalf("words: %d", len(ws))
+	}
+	if isa.DecodeInstruction(ws[0]).Op != isa.LIA || isa.DecodeInstruction(ws[1]).Op != isa.AIA {
+		t.Errorf("expansion wrong: %v %v", ws[0], ws[1])
+	}
+	if isa.DecodeInstruction(ws[0]).Offset != 5 {
+		t.Error("argument not substituted")
+	}
+}
+
+func TestMacroLocalLabels(t *testing.T) {
+	// A macro with an internal loop label expands twice without
+	// colliding, thanks to the \@ suffix.
+	prog := MustAssemble(`
+        .macro  spin n
+        lia     \n
+loop\@: aia     -1
+        tnz     loop\@
+        .endm
+
+        .seg    s
+        spin    3
+        spin    2
+        hlt
+`)
+	if got := len(prog.Segment("s").Words); got != 7 {
+		t.Fatalf("words: %d", got)
+	}
+}
+
+func TestMacroInvocationLabel(t *testing.T) {
+	prog := MustAssemble(`
+        .macro  nothing
+        nop
+        .endm
+
+        .seg    s
+here:   nothing
+        tra     here
+`)
+	s := prog.Segment("s")
+	if s.Symbols["here"] != 0 {
+		t.Errorf("here at %d", s.Symbols["here"])
+	}
+}
+
+func TestMacroNested(t *testing.T) {
+	prog := MustAssemble(`
+        .macro  inner
+        nop
+        .endm
+        .macro  outer
+        inner
+        inner
+        .endm
+
+        .seg    s
+        outer
+        hlt
+`)
+	if got := len(prog.Segment("s").Words); got != 3 {
+		t.Fatalf("words: %d", got)
+	}
+}
+
+func TestMacroErrors(t *testing.T) {
+	cases := []struct{ name, src, sub string }{
+		{"unterminated", ".macro m\nnop\n", "unterminated"},
+		{"endm alone", ".seg s\n.endm\n", ".endm without"},
+		{"nested def", ".macro a\n.macro b\n.endm\n.endm\n", "nested .macro"},
+		{"dup", ".macro a\n.endm\n.macro a\n.endm\n.seg s\nnop\n", "duplicate macro"},
+		{"argc", ".macro m x\nlia \\x\n.endm\n.seg s\nm\n", "takes 1 argument"},
+		{"recursive", ".macro m\nm\n.endm\n.seg s\nm\n", "deeper than"},
+		{"nameless", ".macro\n.endm\n", ".macro needs a name"},
+	}
+	for _, tc := range cases {
+		if _, err := Assemble(tc.src); err == nil || !strings.Contains(err.Error(), tc.sub) {
+			t.Errorf("%s: err = %v", tc.name, err)
+		}
+	}
+}
+
+// TestStdMacrosConvention: a leaf service written with the standard
+// macros behaves exactly like the hand-written veneer.
+func TestStdMacrosConvention(t *testing.T) {
+	prog := MustAssemble(StdMacros + `
+        .seg    main
+        .bracket 4,4,4
+        callg   svc$entry
+        hlt
+
+        .seg    svc
+        .bracket 1,1,5
+        .gate   entry
+entry:  leafenter
+        lia     77
+        leafexit
+`)
+	img, err := BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.A.Int64() != 77 {
+		t.Errorf("A = %d", img.CPU.A.Int64())
+	}
+	if img.CPU.IPR.Ring != 4 {
+		t.Errorf("final ring %d", img.CPU.IPR.Ring)
+	}
+}
+
+// TestStdMacrosNestedProc: procenter/procexit carry a further call
+// safely (the full frame protocol, as macros).
+func TestStdMacrosNestedProc(t *testing.T) {
+	prog := MustAssemble(StdMacros + `
+        .seg    main
+        .bracket 5,5,5
+        callg   mid$step
+        hlt
+
+        .seg    mid
+        .bracket 3,3,7
+        .gate   step
+step:   procenter
+        callg   leaf$add
+        procexit
+
+        .seg    leaf
+        .bracket 1,1,7
+        .gate   add
+add:    leafenter
+        aia     40
+        leafexit
+`)
+	img, err := BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(5, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.A = 2
+	if _, err := img.CPU.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.A.Int64() != 42 {
+		t.Errorf("A = %d", img.CPU.A.Int64())
+	}
+	if img.CPU.IPR.Ring != 5 {
+		t.Errorf("final ring %d", img.CPU.IPR.Ring)
+	}
+}

@@ -1,0 +1,557 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// passOne sizes every segment, collects labels, gates, entries, equs and
+// link slots.
+func passOne(lines []sourceLine) (*passState, error) {
+	ps := &passState{segs: map[string]*buildSeg{}}
+	for _, ln := range lines {
+		if ln.op == ".seg" {
+			name := strings.TrimSpace(ln.rest)
+			if name == "" {
+				return nil, errf(ln.num, ".seg needs a name")
+			}
+			if _, dup := ps.segs[name]; dup {
+				return nil, errf(ln.num, "duplicate segment %q", name)
+			}
+			if ln.label != "" {
+				return nil, errf(ln.num, "label on .seg line")
+			}
+			ps.segs[name] = newBuildSeg(name, ln.num)
+			ps.order = append(ps.order, name)
+			continue
+		}
+		b, err := ps.current(ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if ln.label != "" {
+			if _, dup := b.labels[ln.label]; dup {
+				return nil, errf(ln.num, "duplicate label %q", ln.label)
+			}
+			if _, dup := b.equs[ln.label]; dup {
+				return nil, errf(ln.num, "label %q collides with equ", ln.label)
+			}
+			b.labels[ln.label] = b.size
+		}
+		if ln.op == "" {
+			continue
+		}
+		switch ln.op {
+		case ".bracket":
+			r, err := parseBrackets(ln)
+			if err != nil {
+				return nil, err
+			}
+			b.brackets = r
+		case ".access":
+			if err := parseAccess(b, ln); err != nil {
+				return nil, err
+			}
+		case ".gate":
+			name := strings.TrimSpace(ln.rest)
+			if name == "" {
+				return nil, errf(ln.num, ".gate needs a label")
+			}
+			b.gates = append(b.gates, name)
+		case ".entry":
+			name := strings.TrimSpace(ln.rest)
+			if name == "" {
+				return nil, errf(ln.num, ".entry needs a label")
+			}
+			b.entries = append(b.entries, name)
+		case ".equ":
+			parts := splitArgs(ln.rest)
+			if len(parts) != 2 {
+				return nil, errf(ln.num, ".equ needs name, value")
+			}
+			v, err := parseNumber(parts[1], b)
+			if err != nil {
+				return nil, errf(ln.num, ".equ value: %v", err)
+			}
+			b.equs[parts[0]] = v
+		case ".word", ".its":
+			b.size++
+		case ".string":
+			lit, err := parseStringLit(ln.rest)
+			if err != nil {
+				return nil, errf(ln.num, "%v", err)
+			}
+			b.size += uint32(len(word.PackChars(lit)))
+		case ".bss":
+			n, err := parseNumber(strings.TrimSpace(ln.rest), b)
+			if err != nil || n < 0 {
+				return nil, errf(ln.num, ".bss needs a non-negative count")
+			}
+			b.size += uint32(n)
+		default:
+			// Instruction: validate the mnemonic early and register
+			// links for external references (link slots are stable
+			// because the link area follows all code and data).
+			if _, err := parseMnemonic(ln.op, ln.num); err != nil {
+				return nil, err
+			}
+			if ext, ok := splitExternal(ln.rest); ok {
+				b.addLink(linkKey{seg: ext.seg, sym: ext.sym, further: ext.further})
+			}
+			b.size++
+		}
+	}
+	return ps, nil
+}
+
+// passTwo encodes every segment.
+func passTwo(lines []sourceLine, ps *passState) error {
+	var b *buildSeg
+	for _, ln := range lines {
+		if ln.op == ".seg" {
+			if b != nil {
+				if err := sealSegment(b); err != nil {
+					return err
+				}
+			}
+			b = ps.segs[strings.TrimSpace(ln.rest)]
+			b.words = make([]word.Word, 0, b.vectorLen()+b.size+uint32(len(b.linkOrder)))
+			// Gate transfer vector: gate i is `tra label`.
+			for _, g := range b.gates {
+				target, ok := b.resolveSym(g)
+				if !ok {
+					return errf(b.lineDefined, "gate %q: no such label in %q", g, b.name)
+				}
+				b.words = append(b.words, isa.Instruction{Op: isa.TRA, Offset: target}.Encode())
+			}
+			continue
+		}
+		if b == nil {
+			return errf(ln.num, "statement before any .seg directive")
+		}
+		if ln.op == "" {
+			continue
+		}
+		switch ln.op {
+		case ".bracket", ".access", ".gate", ".entry", ".equ":
+			// pass 1 handled these
+		case ".word":
+			v, err := evalExpr(strings.TrimSpace(ln.rest), b)
+			if err != nil {
+				return errf(ln.num, ".word: %v", err)
+			}
+			b.words = append(b.words, word.FromInt(v))
+		case ".its":
+			w, reloc, err := parseIts(ln, b, uint32(len(b.words)))
+			if err != nil {
+				return err
+			}
+			b.words = append(b.words, w)
+			if reloc != nil {
+				b.relocs = append(b.relocs, *reloc)
+			}
+		case ".string":
+			lit, err := parseStringLit(ln.rest)
+			if err != nil {
+				return errf(ln.num, "%v", err)
+			}
+			b.words = append(b.words, word.PackChars(lit)...)
+		case ".bss":
+			n, _ := parseNumber(strings.TrimSpace(ln.rest), b)
+			for i := int64(0); i < n; i++ {
+				b.words = append(b.words, 0)
+			}
+		default:
+			w, err := encodeInstruction(ln, b)
+			if err != nil {
+				return err
+			}
+			b.words = append(b.words, w)
+		}
+	}
+	if b != nil {
+		if err := sealSegment(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealSegment appends the link area and verifies layout arithmetic and
+// export validity.
+func sealSegment(b *buildSeg) error {
+	if got, want := uint32(len(b.words)), b.linkBase(); got != want {
+		return errf(b.lineDefined, "segment %q: emitted %d words, sized %d (assembler bug)",
+			b.name, got, want)
+	}
+	for _, e := range b.entries {
+		if _, ok := b.resolveSym(e); !ok {
+			return errf(b.lineDefined, "segment %q: .entry %q has no such label", b.name, e)
+		}
+	}
+	for _, k := range b.linkOrder {
+		wordno := uint32(len(b.words))
+		ind := isa.Indirect{Ring: 0, Further: k.further}
+		b.words = append(b.words, ind.Encode())
+		b.relocs = append(b.relocs, Reloc{
+			Wordno:    wordno,
+			TargetSeg: k.seg,
+			TargetSym: k.sym,
+		})
+	}
+	return nil
+}
+
+func parseBrackets(ln sourceLine) (core.Brackets, error) {
+	parts := splitArgs(ln.rest)
+	if len(parts) != 3 {
+		return core.Brackets{}, errf(ln.num, ".bracket needs r1,r2,r3")
+	}
+	var rs [3]core.Ring
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v >= core.NumRings {
+			return core.Brackets{}, errf(ln.num, ".bracket: bad ring %q", p)
+		}
+		rs[i] = core.Ring(v)
+	}
+	br := core.Brackets{R1: rs[0], R2: rs[1], R3: rs[2]}
+	if err := br.Validate(); err != nil {
+		return core.Brackets{}, errf(ln.num, "%v", err)
+	}
+	return br, nil
+}
+
+func parseAccess(b *buildSeg, ln sourceLine) error {
+	b.read, b.write, b.execute = false, false, false
+	for _, c := range strings.TrimSpace(ln.rest) {
+		switch c {
+		case 'r':
+			b.read = true
+		case 'w':
+			b.write = true
+		case 'e':
+			b.execute = true
+		default:
+			return errf(ln.num, ".access: unknown flag %q", string(c))
+		}
+	}
+	return nil
+}
+
+// splitArgs splits a comma-separated operand list, trimming spaces.
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+// parseNumber parses a literal or equ-defined number (no labels).
+func parseNumber(s string, b *buildSeg) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	if b != nil {
+		if v, ok := b.equs[s]; ok {
+			return v, nil
+		}
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	base := 10
+	if strings.HasPrefix(s, "0o") {
+		base = 8
+		s = s[2:]
+	}
+	v, err := strconv.ParseInt(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// evalExpr evaluates sym, number, sym+num or sym-num.
+func evalExpr(s string, b *buildSeg) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	// Try plain number first (handles leading '-').
+	if v, err := parseNumber(s, b); err == nil {
+		return v, nil
+	}
+	// sym[+|-]num
+	op := ' '
+	idx := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			op = rune(s[i])
+			idx = i
+			break
+		}
+	}
+	sym, rest := s, ""
+	if idx >= 0 {
+		sym, rest = strings.TrimSpace(s[:idx]), strings.TrimSpace(s[idx+1:])
+	}
+	base, ok := b.resolveSym(sym)
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", sym)
+	}
+	v := int64(base)
+	if idx >= 0 {
+		n, err := parseNumber(rest, b)
+		if err != nil {
+			return 0, err
+		}
+		if op == '+' {
+			v += n
+		} else {
+			v -= n
+		}
+	}
+	return v, nil
+}
+
+// external is a parsed seg$sym operand.
+type external struct {
+	seg, sym string
+	further  bool
+}
+
+// splitExternal recognizes [*]seg$sym operands (with no index suffix).
+func splitExternal(rest string) (external, bool) {
+	s := strings.TrimSpace(rest)
+	further := false
+	if strings.HasPrefix(s, "*") {
+		further = true
+		s = strings.TrimSpace(s[1:])
+	}
+	if strings.Contains(s, ",") || strings.Contains(s, "|") {
+		return external{}, false
+	}
+	idx := strings.IndexByte(s, '$')
+	if idx <= 0 || idx == len(s)-1 {
+		return external{}, false
+	}
+	return external{seg: s[:idx], sym: s[idx+1:], further: further}, true
+}
+
+// parsedMnemonic carries the opcode plus any register-suffix tag.
+type parsedMnemonic struct {
+	op     isa.Opcode
+	tag    uint8
+	hasTag bool
+}
+
+// parseMnemonic resolves base and register-suffixed mnemonics.
+func parseMnemonic(s string, line int) (parsedMnemonic, error) {
+	if op, ok := isa.ByName(s); ok {
+		return parsedMnemonic{op: op}, nil
+	}
+	if s == "ret" {
+		return parsedMnemonic{op: isa.RET}, nil
+	}
+	// Register-suffixed forms: eapN sprN ldxN stxN lixN.
+	if len(s) >= 4 {
+		base, digit := s[:len(s)-1], s[len(s)-1]
+		if digit >= '0' && digit <= '7' {
+			switch base {
+			case "eap", "spr", "ldx", "stx", "lix":
+				op, _ := isa.ByName(base)
+				return parsedMnemonic{op: op, tag: digit - '0', hasTag: true}, nil
+			}
+		}
+	}
+	return parsedMnemonic{}, errf(line, "unknown mnemonic %q", s)
+}
+
+// encodeInstruction assembles one instruction line.
+func encodeInstruction(ln sourceLine, b *buildSeg) (word.Word, error) {
+	mn, err := parseMnemonic(ln.op, ln.num)
+	if err != nil {
+		return 0, err
+	}
+	info, _ := isa.Lookup(mn.op)
+	ins := isa.Instruction{Op: mn.op}
+	if mn.hasTag {
+		ins.Tag = mn.tag
+	}
+	rest := strings.TrimSpace(ln.rest)
+
+	// Immediates, shifts and SVC take a bare signed value.
+	if info.Class == isa.ClassNone {
+		if mn.op == isa.NOP || mn.op == isa.HLT || mn.op == isa.RETT {
+			if rest != "" {
+				return 0, errf(ln.num, "%s takes no operand", ln.op)
+			}
+			return ins.Encode(), nil
+		}
+		if rest == "" {
+			return 0, errf(ln.num, "%s needs a value", ln.op)
+		}
+		v, err := evalExpr(rest, b)
+		if err != nil {
+			return 0, errf(ln.num, "%v", err)
+		}
+		ins.Offset = uint32(v) & 0o777777
+		return ins.Encode(), nil
+	}
+
+	if rest == "" {
+		return 0, errf(ln.num, "%s needs an operand", ln.op)
+	}
+
+	// STIC ,+n displacement suffix.
+	if mn.op == isa.STIC {
+		if idx := strings.LastIndex(rest, ",+"); idx >= 0 {
+			n, err := parseNumber(rest[idx+2:], b)
+			if err != nil || n < 0 || n > 15 {
+				return 0, errf(ln.num, "stic displacement must be 0-15")
+			}
+			ins.Tag = uint8(n)
+			rest = strings.TrimSpace(rest[:idx])
+		}
+	}
+
+	// External reference: indirect through a link word.
+	if ext, ok := splitExternal(rest); ok {
+		slot := b.addLink(linkKey{seg: ext.seg, sym: ext.sym, further: ext.further})
+		ins.Ind = true
+		ins.Offset = b.linkBase() + slot
+		return ins.Encode(), nil
+	}
+
+	// Index suffix ,xN (not for register-suffixed or stic mnemonics).
+	if idx := strings.LastIndex(rest, ",x"); idx >= 0 && !mn.hasTag && mn.op != isa.STIC {
+		d := rest[idx+2:]
+		if len(d) != 1 || d[0] < '0' || d[0] > '7' {
+			return 0, errf(ln.num, "bad index register %q", d)
+		}
+		if !usesIndexTagAsm(mn.op) {
+			return 0, errf(ln.num, "%s cannot be indexed", ln.op)
+		}
+		ins.Tag = d[0] - '0' + 1
+		rest = strings.TrimSpace(rest[:idx])
+	}
+
+	// Indirection star.
+	if strings.HasPrefix(rest, "*") {
+		ins.Ind = true
+		rest = strings.TrimSpace(rest[1:])
+	}
+
+	// PR-relative: prN|expr.
+	if strings.HasPrefix(rest, "pr") && len(rest) >= 4 && rest[3] == '|' {
+		if rest[2] < '0' || rest[2] > '7' {
+			return 0, errf(ln.num, "bad pointer register in %q", rest)
+		}
+		ins.PRRel = true
+		ins.PR = rest[2] - '0'
+		rest = strings.TrimSpace(rest[4:])
+	}
+
+	v, err := evalExpr(rest, b)
+	if err != nil {
+		return 0, errf(ln.num, "%v", err)
+	}
+	ins.Offset = uint32(v) & 0o777777
+	return ins.Encode(), nil
+}
+
+// usesIndexTagAsm mirrors the CPU's TAG interpretation.
+func usesIndexTagAsm(op isa.Opcode) bool {
+	switch op {
+	case isa.EAP, isa.SPR, isa.STIC, isa.LDX, isa.STX, isa.LIX:
+		return false
+	}
+	return true
+}
+
+// parseIts assembles an .its directive: `.its ring, target[, *]`.
+func parseIts(ln sourceLine, b *buildSeg, pos uint32) (word.Word, *Reloc, error) {
+	parts := splitArgs(ln.rest)
+	if len(parts) < 2 || len(parts) > 3 {
+		return 0, nil, errf(ln.num, ".its needs ring, target[, *]")
+	}
+	ringVal, err := strconv.Atoi(parts[0])
+	if err != nil || ringVal < 0 || ringVal >= core.NumRings {
+		return 0, nil, errf(ln.num, ".its: bad ring %q", parts[0])
+	}
+	further := false
+	if len(parts) == 3 {
+		if parts[2] != "*" {
+			return 0, nil, errf(ln.num, ".its: third argument must be *")
+		}
+		further = true
+	}
+	target := parts[1]
+	ind := isa.Indirect{Ring: core.Ring(ringVal), Further: further}
+	if idx := strings.IndexByte(target, '$'); idx > 0 {
+		// External: segno and wordno patched at link time.
+		return ind.Encode(), &Reloc{
+			Wordno:    pos,
+			TargetSeg: target[:idx],
+			TargetSym: target[idx+1:],
+		}, nil
+	}
+	// Local: wordno known now, segno patched to self at link time.
+	v, err := evalExpr(target, b)
+	if err != nil {
+		return 0, nil, errf(ln.num, ".its: %v", err)
+	}
+	ind.Wordno = uint32(v) & 0o777777
+	return ind.Encode(), &Reloc{Wordno: pos}, nil
+}
+
+// parseStringLit parses a double-quoted string literal with \n, \t,
+// \\ and \" escapes.
+func parseStringLit(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf(".string needs a double-quoted literal")
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf(".string: dangling escape")
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return "", fmt.Errorf(".string: unknown escape \\%c", body[i])
+		}
+	}
+	return string(out), nil
+}

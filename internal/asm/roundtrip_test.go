@@ -1,0 +1,148 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// renderAsm renders an instruction in the assembler's own source syntax
+// (decimal offsets; register-suffixed mnemonics).
+func renderAsm(ins isa.Instruction) (string, bool) {
+	info, ok := isa.Lookup(ins.Op)
+	if !ok {
+		return "", false
+	}
+	name := info.Name
+	var operand string
+	switch ins.Op {
+	case isa.NOP, isa.HLT, isa.RETT:
+		if ins.Ind || ins.PRRel || ins.Tag != 0 || ins.Offset != 0 {
+			return "", false
+		}
+		return name, true
+	case isa.LIA, isa.AIA, isa.LIQ, isa.ALS, isa.ARS, isa.SVC:
+		if ins.Ind || ins.PRRel || ins.Tag != 0 {
+			return "", false
+		}
+		return fmt.Sprintf("%s %d", name, ins.Offset), true
+	case isa.LIX:
+		if ins.Ind || ins.PRRel {
+			return "", false
+		}
+		return fmt.Sprintf("lix%d %d", ins.Tag&7, ins.Offset), true
+	case isa.EAP, isa.SPR:
+		name = fmt.Sprintf("%s%d", name, ins.Tag&7)
+	case isa.LDX, isa.STX:
+		name = fmt.Sprintf("%s%d", name, ins.Tag&7)
+	case isa.STIC:
+		// rendered with the ,+n suffix below
+	default:
+		// Index tag rendered as ,xN below.
+	}
+
+	star := ""
+	if ins.Ind {
+		star = "*"
+	}
+	if ins.PRRel {
+		operand = fmt.Sprintf("%spr%d|%d", star, ins.PR, ins.Offset)
+	} else {
+		operand = fmt.Sprintf("%s%d", star, ins.Offset)
+	}
+	suffix := ""
+	switch {
+	case ins.Op == isa.STIC:
+		if ins.Tag > 15 {
+			return "", false
+		}
+		suffix = fmt.Sprintf(",+%d", ins.Tag)
+	case usesIndexTagAsm(ins.Op) && ins.Tag != 0:
+		if ins.Tag > 8 {
+			return "", false
+		}
+		suffix = fmt.Sprintf(",x%d", ins.Tag-1)
+	}
+	return fmt.Sprintf("%s %s%s", name, operand, suffix), true
+}
+
+// TestQuickRenderAssembleRoundTrip: for random valid instructions,
+// rendering them in assembler syntax and reassembling reproduces the
+// exact encoding.
+func TestQuickRenderAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ops := isa.Opcodes()
+	tried, skipped := 0, 0
+	for i := 0; i < 4000; i++ {
+		ins := isa.Instruction{
+			Op:     ops[rng.Intn(len(ops))],
+			Ind:    rng.Intn(2) == 0,
+			PRRel:  rng.Intn(2) == 0,
+			PR:     uint8(rng.Intn(8)),
+			Tag:    uint8(rng.Intn(9)),
+			Offset: uint32(rng.Intn(1 << 17)), // keep positive for decimal rendering
+		}
+		// Normalize fields the encoding ignores for this op so the
+		// comparison is meaningful.
+		if !ins.PRRel {
+			ins.PR = 0
+		}
+		switch ins.Op {
+		case isa.EAP, isa.SPR, isa.LDX, isa.STX, isa.LIX:
+			ins.Tag &= 7 // register selector: only the low 3 bits render
+		}
+		src, ok := renderAsm(ins)
+		if !ok {
+			skipped++
+			continue
+		}
+		tried++
+		prog, err := Assemble(".seg t\n" + src + "\n")
+		if err != nil {
+			t.Fatalf("%q (from %+v): %v", src, ins, err)
+		}
+		got := isa.DecodeInstruction(prog.Segment("t").Words[0])
+		if got != ins {
+			t.Fatalf("round trip %q: got %+v want %+v", src, got, ins)
+		}
+	}
+	if tried < 1000 {
+		t.Fatalf("only %d instructions tried (%d skipped): generator too narrow", tried, skipped)
+	}
+}
+
+// TestListingCoversEveryOpcode: the listing renders every defined
+// opcode by its mnemonic.
+func TestListingCoversEveryOpcode(t *testing.T) {
+	var src strings.Builder
+	src.WriteString(".seg t\n.access rwe\n")
+	count := 0
+	for _, op := range isa.Opcodes() {
+		info, _ := isa.Lookup(op)
+		ins := isa.Instruction{Op: op, Offset: 1}
+		switch op {
+		case isa.NOP, isa.HLT, isa.RETT:
+			ins.Offset = 0
+		}
+		fmt.Fprintf(&src, "  .word %d\n", ins.Encode().Int64())
+		_ = info
+		count++
+	}
+	prog := MustAssemble(src.String())
+	lst := prog.Listing()
+	for _, op := range isa.Opcodes() {
+		info, _ := isa.Lookup(op)
+		base := info.Name
+		// Register-suffixed mnemonics render with their digit.
+		switch op {
+		case isa.EAP, isa.SPR, isa.LDX, isa.STX, isa.LIX:
+			base += "0"
+		}
+		if !strings.Contains(lst, base) {
+			t.Errorf("listing missing mnemonic %q", base)
+		}
+	}
+}

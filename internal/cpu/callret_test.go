@@ -1,0 +1,826 @@
+package cpu_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/seg"
+	"repro/internal/trace"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// gatedProc builds a procedure segment with execute bracket [r,r] and a
+// gate extension up to gateTop, with the given number of gates.
+func gatedProc(name string, r, gateTop core.Ring, gates uint32, code []word.Word) image.SegmentDef {
+	return image.SegmentDef{
+		Name: name, Words: code,
+		Read: true, Execute: true,
+		Brackets: core.Brackets{R1: r, R2: r, R3: gateTop},
+		Gates:    gates,
+	}
+}
+
+// callImage builds the canonical two-segment scenario: a ring-4 caller
+// and a ring-1 gated service. The caller's link word (main|2) points at
+// the service gate.
+func callImage(t *testing.T) *image.Image {
+	t.Helper()
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.CALL, 2), // call *main|2
+			ins(isa.HLT, 0),
+			0, // link word
+		}),
+		gatedProc("service", 1, 5, 1, []word.Word{
+			ins(isa.LIA, 42),
+			ins(isa.HLT, 0),
+		}))
+	svcSeg, err := img.Segno("service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WriteWord("main", 2, indWord(0, svcSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestDownwardCallSwitchesRing(t *testing.T) {
+	img := callImage(t)
+	buf := &trace.Buffer{}
+	img.CPU.Tracer = buf
+	run(t, img, 4, "main", 0)
+	c := img.CPU
+	if c.A.Int64() != 42 {
+		t.Error("service did not run")
+	}
+	if c.IPR.Ring != 1 {
+		t.Errorf("halted in ring %d, want 1", c.IPR.Ring)
+	}
+	// PR0 = stack base for ring 1: segno 1 under the default rule.
+	if c.PR[cpu.StackBasePR].Segno != 1 || c.PR[cpu.StackBasePR].Ring != 1 ||
+		c.PR[cpu.StackBasePR].Wordno != 0 {
+		t.Errorf("PR0 = %v", c.PR[cpu.StackBasePR])
+	}
+	// Crucially: no trap occurred. This is the headline claim.
+	if traps := buf.OfKind(trace.KindTrap); len(traps) != 0 {
+		t.Errorf("downward call trapped: %v", traps)
+	}
+	if switches := buf.OfKind(trace.KindRingSwitch); len(switches) != 1 {
+		t.Fatalf("ring switches: %v", switches)
+	}
+}
+
+func TestDownwardCallStackRuleDBRBase(t *testing.T) {
+	img, err := image.Build(image.Config{StackRule: cpu.StackDBRBase, StackBase: 16}, []image.SegmentDef{
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.CALL, 2),
+			ins(isa.HLT, 0),
+			0,
+		}),
+		gatedProc("service", 1, 5, 1, []word.Word{
+			ins(isa.HLT, 0),
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcSeg, _ := img.Segno("service")
+	if err := img.WriteWord("main", 2, indWord(0, svcSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.CPU.PR[cpu.StackBasePR].Segno; got != 17 {
+		t.Errorf("PR0 segno = %d, want 17 (DBR.Stack 16 + ring 1)", got)
+	}
+}
+
+func TestSameRingCallKeepsStackSegment(t *testing.T) {
+	// A same-ring CALL takes the stack segno from the stack pointer
+	// register (footnote rule), preserving nonstandard stacks.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.CALL, 2),
+			ins(isa.HLT, 0),
+			0,
+		}),
+		userProc("peer", 4, 1, []word.Word{
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("altstack", 4, 4, 64))
+	peerSeg, _ := img.Segno("peer")
+	altSeg, _ := img.Segno("altstack")
+	if err := img.WriteWord("main", 2, indWord(0, peerSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[cpu.StackPtrPR] = cpu.Pointer{Ring: 4, Segno: altSeg, Wordno: 10}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.CPU.PR[cpu.StackBasePR].Segno; got != altSeg {
+		t.Errorf("PR0 segno = %d, want %d (from stack pointer register)", got, altSeg)
+	}
+	if img.CPU.IPR.Ring != 4 {
+		t.Errorf("ring changed on same-ring call: %d", img.CPU.IPR.Ring)
+	}
+}
+
+func TestCallToNonGateTraps(t *testing.T) {
+	img := callImage(t)
+	svcSeg, _ := img.Segno("service")
+	// Re-point the link at word 1, beyond the single gate.
+	if err := img.WriteWord("main", 2, indWord(0, svcSeg, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := runExpectTrap(t, img, 4, "main", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationNotAGate {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+}
+
+func TestCallAboveGateExtensionTraps(t *testing.T) {
+	// The service's gate extension tops at ring 5; a ring-6 caller
+	// holds no transfer-to-gate capability for it.
+	img := build(t, image.Config{},
+		userProc("main6", 6, 0, []word.Word{
+			insInd(isa.CALL, 2),
+			ins(isa.HLT, 0),
+			0,
+		}),
+		gatedProc("service", 1, 5, 1, []word.Word{ins(isa.HLT, 0)}))
+	svcSeg, _ := img.Segno("service")
+	if err := img.WriteWord("main6", 2, indWord(0, svcSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := runExpectTrap(t, img, 6, "main6", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationGateExtension {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+}
+
+func TestCallWithinSegmentBypassesGate(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.CALL, 2), // direct, same segment, word 2 is not a gate (0 gates)
+			ins(isa.HLT, 0),
+			ins(isa.LIA, 9), // internal procedure
+			ins(isa.HLT, 0),
+		}))
+	run(t, img, 4, "main", 0)
+	if img.CPU.A.Int64() != 9 {
+		t.Error("internal call did not reach target")
+	}
+}
+
+func TestUpwardCallTraps(t *testing.T) {
+	// Ring-1 caller invokes a ring-4 procedure: hardware traps with
+	// UpwardCall for software mediation.
+	img := build(t, image.Config{},
+		userProc("sup", 1, 0, []word.Word{
+			insInd(isa.CALL, 2),
+			ins(isa.HLT, 0),
+			0,
+		}),
+		userProc("user", 4, 1, []word.Word{
+			ins(isa.HLT, 0),
+		}))
+	userSeg, _ := img.Segno("user")
+	if err := img.WriteWord("sup", 2, indWord(0, userSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := runExpectTrap(t, img, 1, "sup", 0, trap.UpwardCall)
+	if tr.OperandSeg != userSeg || tr.OperandWord != 0 {
+		t.Errorf("trap operand: (%o|%o)", tr.OperandSeg, tr.OperandWord)
+	}
+}
+
+func TestCallRingAlarmViaPR(t *testing.T) {
+	// Ring-1 code CALLs through a PR with ring 4 at a segment whose
+	// execute bracket is [3,3]: with respect to the effective ring (4,
+	// in the gate extension) this looks like a downward call to ring 3,
+	// but with respect to the true ring of execution (1) it is an
+	// upward call — the disguised upward call of Figure 8, an access
+	// violation.
+	img := build(t, image.Config{},
+		userProc("sup", 1, 0, []word.Word{
+			insPR(isa.CALL, 3, 0),
+			ins(isa.HLT, 0),
+		}),
+		gatedProc("peer", 3, 5, 1, []word.Word{ins(isa.HLT, 0)}))
+	peerSeg, _ := img.Segno("peer")
+	if err := img.Start(1, "sup", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[3] = cpu.Pointer{Ring: 4, Segno: peerSeg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation == nil ||
+		tr.Violation.Kind != core.ViolationRingAlarm {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallStackFaultWhenStackMissing(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.CALL, 2),
+			ins(isa.HLT, 0),
+			0,
+		}),
+		gatedProc("sub", 2, 5, 1, []word.Word{ins(isa.HLT, 0)}))
+	subSeg, _ := img.Segno("sub")
+	if err := img.WriteWord("main", 2, indWord(0, subSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the ring-2 stack (segment 2 under the default rule).
+	if err := img.CPU.Table().Store(2, seg.SDW{}); err != nil {
+		t.Fatal(err)
+	}
+	runExpectTrap(t, img, 4, "main", 0, trap.StackFault)
+}
+
+// ---- RETURN ----
+
+func TestUpwardReturnRaisesPRRings(t *testing.T) {
+	// Ring-1 service returns to ring 4 through a return-point indirect
+	// word carrying ring 4; every PR ring must be raised to ≥ 4.
+	img := build(t, image.Config{},
+		gatedProc("service", 1, 5, 1, []word.Word{
+			insInd(isa.RET, 1), // return *service|1
+			0,                  // return point, filled below
+		}),
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.HLT, 0), // never reached directly
+			ins(isa.LIA, 7), // word 1: the return point
+			ins(isa.HLT, 0),
+		}))
+	mainSeg, _ := img.Segno("main")
+	if err := img.WriteWord("service", 1, indWord(4, mainSeg, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(1, "service", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate post-downward-call register state: PRs hold ring ≥ 1.
+	for i := range img.CPU.PR {
+		img.CPU.PR[i].Ring = 1
+	}
+	buf := &trace.Buffer{}
+	img.CPU.Tracer = buf
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	if c.IPR.Ring != 4 {
+		t.Errorf("returned to ring %d, want 4", c.IPR.Ring)
+	}
+	if c.A.Int64() != 7 {
+		t.Error("execution did not resume at return point")
+	}
+	for i, pr := range c.PR {
+		if pr.Ring < 4 {
+			t.Errorf("PR%d ring %d < 4 after upward return", i, pr.Ring)
+		}
+	}
+	if traps := buf.OfKind(trace.KindTrap); len(traps) != 0 {
+		t.Errorf("upward return trapped: %v", traps)
+	}
+}
+
+func TestReturnCannotBeLoweredByCallee(t *testing.T) {
+	// Ring-4 code forges a return point whose ring field claims ring 1
+	// and RETURNs through it. The effective ring computation cannot be
+	// lowered — TPR.RING = max(IPR ring 4, IND ring 1, container R1 4)
+	// = 4 — so the "return to ring 1" is actually validated as a ring-4
+	// transfer into the supervisor segment, which is not executable in
+	// ring 4: access violation. A downward ring switch simply cannot be
+	// expressed through RETURN's effective address.
+	img := build(t, image.Config{},
+		userProc("user", 4, 0, []word.Word{
+			insInd(isa.RET, 1),
+			0,
+		}),
+		gatedProc("sup", 1, 5, 1, []word.Word{ins(isa.HLT, 0)}))
+	supSeg, _ := img.Segno("sup")
+	if err := img.WriteWord("user", 1, indWord(1, supSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := runExpectTrap(t, img, 4, "user", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationExecuteBracket {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+	if tr.Violation.Ring != 4 {
+		t.Errorf("validated in ring %d, want 4 (the forged ring 1 was overridden)", tr.Violation.Ring)
+	}
+}
+
+func TestSameRingReturn(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.RET, 1),
+			0,
+			ins(isa.LIA, 3), // word 2: target
+			ins(isa.HLT, 0),
+		}))
+	mainSeg, _ := img.Segno("main")
+	if err := img.WriteWord("main", 1, indWord(4, mainSeg, 2, false)); err != nil {
+		t.Fatal(err)
+	}
+	run(t, img, 4, "main", 0)
+	if img.CPU.A.Int64() != 3 {
+		t.Error("same-ring return missed target")
+	}
+}
+
+func TestReturnIntoUnexecutableRingTraps(t *testing.T) {
+	// Return to ring 6 but the target executes only in ring 4: the
+	// instruction after an upward ring switch must come from a segment
+	// executable in the new ring.
+	img := build(t, image.Config{},
+		gatedProc("service", 1, 5, 1, []word.Word{
+			insInd(isa.RET, 1),
+			0,
+		}),
+		userProc("main", 4, 0, []word.Word{ins(isa.HLT, 0)}))
+	mainSeg, _ := img.Segno("main")
+	if err := img.WriteWord("service", 1, indWord(6, mainSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := runExpectTrap(t, img, 1, "service", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationExecuteBracket {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+}
+
+// ---- full round trip: the paper's calling convention ----
+
+// TestFullCallReturnRoundTrip exercises the complete software
+// convention the paper describes: the caller saves its return point at
+// a standard stack position, the callee builds a frame on its own
+// ring's stack, saves and restores the caller's stack pointer, and
+// returns through the restored pointer — landing in the caller's ring
+// with no supervisor involvement.
+func TestFullCallReturnRoundTrip(t *testing.T) {
+	const retSlot = 0 // frame slot for the return point
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			// save return point at (PR6)+0, skipping the CALL word
+			isa.Instruction{Op: isa.STIC, PRRel: true, PR: 6, Tag: 1, Offset: retSlot}.Encode(),
+			insInd(isa.CALL, 3), // call *main|3
+			ins(isa.HLT, 0),     // return lands here
+			0,                   // word 3: link
+		}),
+		gatedProc("service", 1, 5, 1, []word.Word{
+			// prologue: new frame on ring-1 stack
+			// PR0 = stack base (set by CALL). Frame pointer: PR5 := PR0|1.
+			isa.Instruction{Op: isa.EAP, PRRel: true, PR: 0, Tag: 5, Offset: 1}.Encode(),
+			// save caller's PR6 into frame: spr6 pr5|0
+			isa.Instruction{Op: isa.SPR, PRRel: true, PR: 5, Tag: 6, Offset: 0}.Encode(),
+			// body
+			ins(isa.LIA, 42),
+			// epilogue: restore caller's PR6: eap6 *pr5|0
+			isa.Instruction{Op: isa.EAP, Ind: true, PRRel: true, PR: 5, Tag: 6, Offset: 0}.Encode(),
+			// return through the caller's saved return point: *pr6|0
+			insPRInd(isa.RET, 6, retSlot),
+		}))
+	svcSeg, _ := img.Segno("service")
+	if err := img.WriteWord("main", 3, indWord(0, svcSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	img.CPU.Tracer = buf
+	run(t, img, 4, "main", 0)
+	c := img.CPU
+	if c.A.Int64() != 42 {
+		t.Error("service body did not run")
+	}
+	if c.IPR.Ring != 4 {
+		t.Errorf("final ring %d, want 4", c.IPR.Ring)
+	}
+	if traps := buf.OfKind(trace.KindTrap); len(traps) != 0 {
+		t.Errorf("round trip trapped: %v", traps)
+	}
+	if switches := buf.OfKind(trace.KindRingSwitch); len(switches) != 2 {
+		t.Errorf("ring switches = %d, want 2 (down, up)", len(switches))
+	}
+	// PR6 restored with the caller's ring (≥ 4), so the callee could
+	// not have returned below ring 4.
+	if c.PR[6].Ring < 4 {
+		t.Errorf("restored PR6 ring %d", c.PR[6].Ring)
+	}
+}
+
+// ---- traps, privileged instructions, save/restore ----
+
+func TestPrivilegedOutsideRing0Traps(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.LDBR, isa.SIO, isa.RETT, isa.SVC} {
+		img := build(t, image.Config{},
+			userProc("main", 4, 0, []word.Word{
+				ins(op, 0),
+				ins(isa.HLT, 0),
+			}))
+		tr := runExpectTrap(t, img, 4, "main", 0, trap.PrivilegedViolation)
+		if tr.Ring != 4 {
+			t.Errorf("%v: trap ring %d", op, tr.Ring)
+		}
+	}
+}
+
+func TestLDBRInRing0(t *testing.T) {
+	img := build(t, image.Config{},
+		image.SegmentDef{
+			Name: "sup", Words: []word.Word{
+				insPR(isa.LDBR, 2, 0),
+				ins(isa.HLT, 0),
+			},
+			Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+		dataSeg("dbrimage", 0, 0, 4))
+	dseg, _ := img.Segno("dbrimage")
+	newDBR := seg.DBR{Addr: 0, Bound: 100, Stack: 8}
+	even, odd := newDBR.Encode()
+	if err := img.WriteWord("dbrimage", 0, even); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WriteWord("dbrimage", 1, odd); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(0, "sup", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 0, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.DBR != newDBR {
+		t.Errorf("DBR = %+v", img.CPU.DBR)
+	}
+}
+
+func TestTrapHandlerResume(t *testing.T) {
+	// A handler that fixes the problem (makes the data segment
+	// readable) and resumes the disrupted instruction.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.LDA, 2, 0),
+			ins(isa.HLT, 0),
+		}),
+		image.SegmentDef{
+			Name: "data", Words: []word.Word{word.FromInt(5)},
+			Read: true, Brackets: core.Brackets{R1: 0, R2: 1, R3: 1}, // unreadable from ring 4
+		})
+	dseg, _ := img.Segno("data")
+	handled := 0
+	img.CPU.Handler = cpu.TrapHandlerFunc(func(c *cpu.CPU, tr *trap.Trap) cpu.TrapAction {
+		handled++
+		// Ring-0 supervisor: widen the read bracket, then resume the
+		// disrupted instruction.
+		sdw, err := c.Table().Fetch(dseg)
+		if err != nil {
+			return cpu.TrapHalt
+		}
+		sdw.Brackets.R2, sdw.Brackets.R3 = 5, 5
+		if err := c.Table().Store(dseg, sdw); err != nil {
+			return cpu.TrapHalt
+		}
+		if err := c.RestoreSaved(); err != nil {
+			return cpu.TrapHalt
+		}
+		return cpu.TrapResume
+	})
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 1 {
+		t.Errorf("handler ran %d times", handled)
+	}
+	if img.CPU.A.Int64() != 5 {
+		t.Error("disrupted instruction did not resume")
+	}
+	if img.CPU.SavedDepth() != 0 {
+		t.Error("save stack not empty")
+	}
+}
+
+func TestTrapSavesFullState(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 77),
+			insPR(isa.STA, 2, 0), // will fault: no write permission
+			ins(isa.HLT, 0),
+		}),
+		image.SegmentDef{
+			Name: "ro", Words: []word.Word{0},
+			Read: true, Brackets: core.Brackets{R1: 0, R2: 5, R3: 5},
+		})
+	dseg, _ := img.Segno("ro")
+	var saved cpu.SavedState
+	img.CPU.Handler = cpu.TrapHandlerFunc(func(c *cpu.CPU, tr *trap.Trap) cpu.TrapAction {
+		saved = *c.PeekSaved()
+		return cpu.TrapHalt
+	})
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err == nil {
+		t.Fatal("expected trap error")
+	}
+	if saved.A.Int64() != 77 {
+		t.Errorf("saved A = %d", saved.A.Int64())
+	}
+	if saved.IPR.Wordno != 1 {
+		t.Errorf("saved IPR wordno = %d, want 1 (the disrupted STA)", saved.IPR.Wordno)
+	}
+	if saved.Trap == nil || saved.Trap.Code != trap.AccessViolation {
+		t.Errorf("saved trap: %v", saved.Trap)
+	}
+	if saved.PR[2].Segno != dseg {
+		t.Errorf("saved PR2: %v", saved.PR[2])
+	}
+}
+
+func TestUnhandledTrapHalts(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{word.Word(0)}))
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := img.CPU.Run(100)
+	if err == nil {
+		t.Fatal("no error from unhandled trap")
+	}
+	if !img.CPU.Halted {
+		t.Error("machine not halted")
+	}
+	if err := img.CPU.Step(); err == nil {
+		t.Error("step on halted machine succeeded")
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.TRA, 0), // infinite loop
+		}))
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := img.CPU.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != cpu.StopLimit {
+		t.Errorf("reason = %v", reason)
+	}
+	if img.CPU.Steps() != 50 {
+		t.Errorf("steps = %d", img.CPU.Steps())
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	img := callImage(t)
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.Cycles == 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+// ---- validation ablation (T5) ----
+
+func TestValidationAblationSkipsRingChecks(t *testing.T) {
+	opt := cpu.DefaultOptions()
+	opt.Validate = false
+	img, err := image.Build(image.Config{CPUOptions: &opt}, []image.SegmentDef{
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.LDA, 2, 0), // read above the read bracket
+			ins(isa.HLT, 0),
+		}),
+		{
+			Name: "supdata", Words: []word.Word{word.FromInt(13)},
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 1, R3: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dseg, _ := img.Segno("supdata")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatalf("ablated machine still trapped: %v", err)
+	}
+	if img.CPU.A.Int64() != 13 {
+		t.Error("read did not happen")
+	}
+}
+
+func TestValidationAblationStillChecksBounds(t *testing.T) {
+	opt := cpu.DefaultOptions()
+	opt.Validate = false
+	img, err := image.Build(image.Config{CPUOptions: &opt}, []image.SegmentDef{
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.LDA, 2, 100),
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err == nil {
+		t.Fatal("bound violation not caught under ablation")
+	}
+}
+
+// ---- properties ----
+
+// TestPropertyPRRingInvariant: starting from a conforming state, after
+// any executed instruction sequence every PRn.RING ≥ IPR.RING — the
+// guarantee (Figure 9 discussion) that makes return schemes secure.
+// Programs are random instruction words executed on a machine with a
+// spread of segments; traps end a run early, which is fine.
+func TestPropertyPRRingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	defs := []image.SegmentDef{
+		userProc("p4", 4, 2, make([]word.Word, 64)),
+		gatedProc("p1", 1, 5, 2, make([]word.Word, 64)),
+		dataSeg("d45", 4, 5, 32),
+		dataSeg("d01", 0, 1, 32),
+	}
+	for trial := 0; trial < 300; trial++ {
+		img, err := image.Build(image.Config{MemWords: 1 << 16, MaxSegments: 32}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fill p4 with random instruction words (random ops biased
+		// toward defined opcodes).
+		ops := isa.Opcodes()
+		p4, _ := img.Segno("p4")
+		for w := uint32(0); w < 64; w++ {
+			ins := isa.Instruction{
+				Op:     ops[rng.Intn(len(ops))],
+				Ind:    rng.Intn(4) == 0,
+				PRRel:  rng.Intn(2) == 0,
+				PR:     uint8(rng.Intn(8)),
+				Tag:    uint8(rng.Intn(9)),
+				Offset: uint32(rng.Intn(64)),
+			}
+			sdw, _ := img.SDW(p4)
+			_ = sdw
+			if err := img.WriteWord("p4", w, ins.Encode()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := img.Start(4, "p4", 0); err != nil {
+			t.Fatal(err)
+		}
+		c := img.CPU
+		// Conforming start: every PR ring ≥ IPR ring.
+		for i := range c.PR {
+			c.PR[i].Ring = core.Ring(4 + rng.Intn(4))
+			c.PR[i].Segno = uint32(rng.Intn(16))
+			c.PR[i].Wordno = uint32(rng.Intn(32))
+		}
+		for step := 0; step < 200; step++ {
+			if c.Halted {
+				break
+			}
+			if err := c.Step(); err != nil {
+				break // trap ended the run; invariant still checked below
+			}
+			for i := range c.PR {
+				if c.PR[i].Ring < c.IPR.Ring {
+					t.Fatalf("trial %d step %d: PR%d ring %d < IPR ring %d",
+						trial, step, i, c.PR[i].Ring, c.IPR.Ring)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRandomProgramsNeverPanic is a smoke fuzz: arbitrary words
+// executed as code either run, trap, or halt — the simulator never
+// panics and never breaches physical memory.
+func TestPropertyRandomProgramsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		code := make([]word.Word, 32)
+		for i := range code {
+			code[i] = word.FromUint64(rng.Uint64())
+		}
+		img, err := image.Build(image.Config{MemWords: 1 << 16, MaxSegments: 32}, []image.SegmentDef{
+			userProc("p", 4, 0, code),
+			dataSeg("d", 4, 5, 32),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Start(4, "p", 0); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = img.CPU.Run(500) // any outcome is acceptable; no panic
+	}
+}
+
+// TestPropertyRingChangesOnlyViaCallReturn: over random programs, every
+// decrease of the ring of execution coincides with a CALL instruction
+// and every increase with a RETURN — no other instruction can move the
+// ring (traps are excluded by running handler-less, where any trap ends
+// the run).
+func TestPropertyRingChangesOnlyViaCallReturn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	ops := isa.Opcodes()
+	for trial := 0; trial < 200; trial++ {
+		defs := []image.SegmentDef{
+			userProc("p4", 4, 2, make([]word.Word, 64)),
+			gatedProc("p1", 1, 5, 4, make([]word.Word, 64)),
+			gatedProc("lib", 2, 7, 4, make([]word.Word, 64)),
+			dataSeg("d", 4, 5, 32),
+		}
+		img, err := image.Build(image.Config{MemWords: 1 << 16, MaxSegments: 32}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"p4", "p1", "lib"} {
+			for w := uint32(0); w < 64; w++ {
+				ins := isa.Instruction{
+					Op:     ops[rng.Intn(len(ops))],
+					Ind:    rng.Intn(4) == 0,
+					PRRel:  rng.Intn(2) == 0,
+					PR:     uint8(rng.Intn(8)),
+					Tag:    uint8(rng.Intn(9)),
+					Offset: uint32(rng.Intn(64)),
+				}
+				if err := img.WriteWord(name, w, ins.Encode()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := img.Start(4, "p4", 0); err != nil {
+			t.Fatal(err)
+		}
+		c := img.CPU
+		for i := range c.PR {
+			c.PR[i].Ring = core.Ring(4 + rng.Intn(4))
+			c.PR[i].Segno = uint32(rng.Intn(12))
+			c.PR[i].Wordno = uint32(rng.Intn(32))
+		}
+		for step := 0; step < 300 && !c.Halted; step++ {
+			prev := c.IPR.Ring
+			// Peek at the instruction about to execute.
+			sdw, err := img.SDW(c.IPR.Segno)
+			if err != nil || !sdw.Present || c.IPR.Wordno >= sdw.Bound {
+				break
+			}
+			raw, err := img.Mem.Read(int(sdw.Addr + c.IPR.Wordno))
+			if err != nil {
+				t.Fatal(err)
+			}
+			op := isa.DecodeInstruction(raw).Op
+			if err := c.Step(); err != nil {
+				break // trap ended the run
+			}
+			switch {
+			case c.IPR.Ring < prev && op != isa.CALL:
+				t.Fatalf("trial %d step %d: ring lowered %d->%d by %v",
+					trial, step, prev, c.IPR.Ring, op)
+			case c.IPR.Ring > prev && op != isa.RET:
+				t.Fatalf("trial %d step %d: ring raised %d->%d by %v",
+					trial, step, prev, c.IPR.Ring, op)
+			}
+		}
+	}
+}

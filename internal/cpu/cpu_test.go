@@ -1,0 +1,737 @@
+package cpu_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// ---- hand-assembly helpers ----
+
+func ins(op isa.Opcode, off uint32) word.Word {
+	return isa.Instruction{Op: op, Offset: off}.Encode()
+}
+
+func insPR(op isa.Opcode, pr uint8, off uint32) word.Word {
+	return isa.Instruction{Op: op, PRRel: true, PR: pr, Offset: off}.Encode()
+}
+
+func insInd(op isa.Opcode, off uint32) word.Word {
+	return isa.Instruction{Op: op, Ind: true, Offset: off}.Encode()
+}
+
+func insPRInd(op isa.Opcode, pr uint8, off uint32) word.Word {
+	return isa.Instruction{Op: op, Ind: true, PRRel: true, PR: pr, Offset: off}.Encode()
+}
+
+func insTag(op isa.Opcode, tag uint8, off uint32) word.Word {
+	return isa.Instruction{Op: op, Tag: tag, Offset: off}.Encode()
+}
+
+func indWord(ring core.Ring, segno, wordno uint32, further bool) word.Word {
+	return isa.Indirect{Ring: ring, Segno: segno, Wordno: wordno, Further: further}.Encode()
+}
+
+// userProc returns a segment definition for a procedure executing in
+// exactly ring r, with its gates.
+func userProc(name string, r core.Ring, gates uint32, code []word.Word) image.SegmentDef {
+	return image.SegmentDef{
+		Name: name, Words: code,
+		Read: true, Execute: true,
+		Brackets: core.Brackets{R1: r, R2: r, R3: r},
+		Gates:    gates,
+	}
+}
+
+// dataSeg returns a read/write data segment with the Figure 1 style
+// brackets: writable through wTop, readable through rTop.
+func dataSeg(name string, wTop, rTop core.Ring, size int) image.SegmentDef {
+	return image.SegmentDef{
+		Name: name, Size: size,
+		Read: true, Write: true,
+		Brackets: core.Brackets{R1: wTop, R2: rTop, R3: rTop},
+	}
+}
+
+// build constructs an image or fails the test.
+func build(t *testing.T, cfg image.Config, defs ...image.SegmentDef) *image.Image {
+	t.Helper()
+	img, err := image.Build(cfg, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// run starts at ring/seg/word and runs to completion, expecting a clean
+// halt.
+func run(t *testing.T, img *image.Image, ring core.Ring, segName string, wordno uint32) {
+	t.Helper()
+	if err := img.Start(ring, segName, wordno); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := img.CPU.Run(10000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if reason != cpu.StopHalt {
+		t.Fatalf("stopped for %v, want halt", reason)
+	}
+}
+
+// runExpectTrap runs and expects the machine to stop on a trap with the
+// given code, returning the trap.
+func runExpectTrap(t *testing.T, img *image.Image, ring core.Ring, segName string, wordno uint32, code trap.Code) *trap.Trap {
+	t.Helper()
+	if err := img.Start(ring, segName, wordno); err != nil {
+		t.Fatal(err)
+	}
+	_, err := img.CPU.Run(10000)
+	if err == nil {
+		t.Fatalf("expected %v trap, ran clean", code)
+	}
+	var tr *trap.Trap
+	if !errors.As(err, &tr) {
+		t.Fatalf("error is not a trap: %v", err)
+	}
+	if tr.Code != code {
+		t.Fatalf("trap code %v, want %v (trap: %v)", tr.Code, code, tr)
+	}
+	return tr
+}
+
+// ---- data path ----
+
+func TestImmediatesAndArithmetic(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 10),
+			ins(isa.AIA, 5),
+			ins(isa.ALS, 1), // A = 30
+			ins(isa.HLT, 0),
+		}))
+	run(t, img, 4, "main", 0)
+	if got := img.CPU.A.Int64(); got != 30 {
+		t.Errorf("A = %d, want 30", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 0o1234),
+			insPR(isa.STA, 2, 3), // store via PR2 into data+3
+			ins(isa.LIA, 0),
+			insPR(isa.LDA, 2, 3), // load back
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 16))
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.CPU.A.Int64(); got != 0o1234 {
+		t.Errorf("A = %o, want 1234", got)
+	}
+	w, err := img.ReadWord("data", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int64() != 0o1234 {
+		t.Errorf("data+3 = %v", w)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 12),
+			insPR(isa.SBA, 2, 0), // A = 12 - 5 = 7
+			insPR(isa.ADA, 2, 0), // A = 12
+			insPR(isa.ANA, 2, 1), // A = 12 & 10 = 8
+			insPR(isa.ORA, 2, 0), // A = 8 | 5 = 13
+			insPR(isa.ERA, 2, 1), // A = 13 ^ 10 = 7
+			ins(isa.HLT, 0),
+		}),
+		image.SegmentDef{
+			Name: "data", Words: []word.Word{word.FromInt(5), word.FromInt(10)},
+			Read: true, Brackets: core.Brackets{R1: 0, R2: 5, R3: 5},
+		})
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.CPU.A.Int64(); got != 7 {
+		t.Errorf("A = %d, want 7", got)
+	}
+}
+
+func TestCompareAndConditionalTransfers(t *testing.T) {
+	// Count down from 3 using X0 in memory; verify loop executes 3 times.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 3),
+			// loop (word 1):
+			insPR(isa.AOS, 2, 0),   // data[0]++
+			ins(isa.AIA, 0o777777), // A-- (add -1)
+			ins(isa.TNZ, 1),        // loop while A != 0
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 4))
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := img.ReadWord("data", 0)
+	if w.Int64() != 3 {
+		t.Errorf("counter = %d, want 3", w.Int64())
+	}
+}
+
+func TestIndexRegisters(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insTag(isa.LIX, 3, 2), // X3 := 2
+			isa.Instruction{Op: isa.LDA, PRRel: true, PR: 2, Tag: 4, Offset: 0}.Encode(), // A := data[0 + X3]
+			ins(isa.HLT, 0),
+		}),
+		image.SegmentDef{
+			Name: "data", Words: []word.Word{7, 8, 9},
+			Read: true, Brackets: core.Brackets{R1: 0, R2: 5, R3: 5},
+		})
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.CPU.A.Int64(); got != 9 {
+		t.Errorf("A = %d, want 9", got)
+	}
+}
+
+func TestLDXSTX(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insTag(isa.LDX, 1, 0).Deposit(25, 1, 1).Deposit(22, 3, 2), // ldx1 pr2|0
+			insTag(isa.STX, 1, 1).Deposit(25, 1, 1).Deposit(22, 3, 2), // stx1 pr2|1
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 4))
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if err := img.WriteWord("data", 0, word.FromInt(0o4321)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.CPU.X[1]; got != 0o4321 {
+		t.Errorf("X1 = %o", got)
+	}
+	w, _ := img.ReadWord("data", 1)
+	if w.Lower() != 0o4321 {
+		t.Errorf("stored X = %o", w.Lower())
+	}
+}
+
+// ---- Figure 4: fetch validation ----
+
+func TestExecuteDataSegmentTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		dataSeg("data", 4, 5, 8),
+		userProc("main", 4, 0, []word.Word{ins(isa.HLT, 0)}))
+	tr := runExpectTrap(t, img, 4, "data", 0, trap.AccessViolation)
+	if tr.Violation == nil || tr.Violation.Kind != core.ViolationNoExecute {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+}
+
+func TestExecuteOutsideBracketTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{ins(isa.HLT, 0)}))
+	// Procedure executes only in ring 4; running it in ring 5 faults.
+	tr := runExpectTrap(t, img, 5, "main", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationExecuteBracket {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+	// And in ring 3 (below the bracket) as well: the paper's
+	// accidental-low-ring-execution protection.
+	tr = runExpectTrap(t, img, 3, "main", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationExecuteBracket {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+}
+
+func TestFetchBeyondBoundTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{ins(isa.NOP, 0)}))
+	// Fall off the end of the one-word segment.
+	tr := runExpectTrap(t, img, 4, "main", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationBound {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+}
+
+func TestMissingSegmentTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.LDA, 2, 0),
+			ins(isa.HLT, 0),
+		}))
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: 200, Wordno: 0} // no such segment
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Code != trap.MissingSegment {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIllegalOpcodeTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{word.Word(0)})) // opcode 0
+	runExpectTrap(t, img, 4, "main", 0, trap.IllegalOpcode)
+}
+
+// ---- Figure 6: operand validation ----
+
+func TestWriteBracketEnforced(t *testing.T) {
+	// data writable through ring 3 only; ring 4 write must fault.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.STA, 2, 0),
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 3, 5, 8))
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Code != trap.AccessViolation ||
+		tr.Violation.Kind != core.ViolationWriteBracket {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadBracketEnforced(t *testing.T) {
+	// Supervisor data: readable only through ring 1.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.LDA, 2, 0),
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("supdata", 0, 1, 8))
+	dseg, _ := img.Segno("supdata")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation == nil ||
+		tr.Violation.Kind != core.ViolationReadBracket {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOperandBoundEnforced(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insPR(isa.LDA, 2, 100), // beyond 8-word segment
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 8))
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation.Kind != core.ViolationBound {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// ---- Figure 5: effective ring via PR and indirect words ----
+
+func TestPRRingRaisesEffectiveRing(t *testing.T) {
+	// Ring-1 procedure reads through a PR whose ring field is 5; the
+	// data segment is readable only through ring 3, so the reference is
+	// validated in ring 5 and must fault — even though ring 1 itself
+	// could read the segment. This is exactly how a called procedure is
+	// prevented from being tricked into reading what its caller could
+	// not.
+	img := build(t, image.Config{},
+		userProc("gatekeeper", 1, 0, []word.Word{
+			insPR(isa.LDA, 1, 0),
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("protected", 1, 3, 8))
+	dseg, _ := img.Segno("protected")
+	if err := img.Start(1, "gatekeeper", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[1] = cpu.Pointer{Ring: 5, Segno: dseg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation == nil ||
+		tr.Violation.Kind != core.ViolationReadBracket {
+		t.Fatalf("err = %v", err)
+	}
+	if tr.Violation.Ring != 5 {
+		t.Errorf("validated in ring %d, want 5", tr.Violation.Ring)
+	}
+}
+
+func TestPRRingPermitsWhenInBracket(t *testing.T) {
+	// Same setup but data readable through ring 5: the raised effective
+	// ring still validates.
+	img := build(t, image.Config{},
+		userProc("gatekeeper", 1, 0, []word.Word{
+			insPR(isa.LDA, 1, 0),
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("shared", 1, 5, 8))
+	dseg, _ := img.Segno("shared")
+	if err := img.Start(1, "gatekeeper", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[1] = cpu.Pointer{Ring: 5, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndirectWordRingRaisesEffectiveRing(t *testing.T) {
+	// The argument-list indirect word carries ring 5; the final operand
+	// reference must be validated in ring 5.
+	img := build(t, image.Config{},
+		userProc("callee", 1, 0, []word.Word{
+			insPRInd(isa.LDA, 1, 0), // lda *pr1|0
+			ins(isa.HLT, 0),
+		}),
+		image.SegmentDef{ // argument list, writable by user rings
+			Name: "args", Size: 4,
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: 5, R2: 5, R3: 5},
+		},
+		dataSeg("secret", 1, 3, 8))
+	argSeg, _ := img.Segno("args")
+	secretSeg, _ := img.Segno("secret")
+	// Argument indirect word forged to point at the secret, with a low
+	// ring field (0): the container's write-bracket top (5) must
+	// dominate.
+	if err := img.WriteWord("args", 0, indWord(0, secretSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(1, "callee", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[1] = cpu.Pointer{Ring: 1, Segno: argSeg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation == nil ||
+		tr.Violation.Kind != core.ViolationReadBracket {
+		t.Fatalf("forged indirect word not caught: err = %v", err)
+	}
+	if tr.Violation.Ring != 5 {
+		t.Errorf("validated in ring %d, want 5 (container write-bracket top)", tr.Violation.Ring)
+	}
+}
+
+func TestChainedIndirection(t *testing.T) {
+	// ind0 -> ind1 -> data, all in low-write-bracket segments; rings
+	// accumulate correctly and the final read succeeds.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.LDA, 2), // lda *main|2 — indirect words in own (R1=4) segment
+			ins(isa.HLT, 0),
+			0, // word 2: filled below
+			0, // word 3
+		}),
+		image.SegmentDef{
+			Name: "data", Words: []word.Word{word.FromInt(99)},
+			Read: true, Brackets: core.Brackets{R1: 0, R2: 5, R3: 5},
+		})
+	mainSeg, _ := img.Segno("main")
+	dataSeg, _ := img.Segno("data")
+	if err := img.WriteWord("main", 2, indWord(0, mainSeg, 3, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WriteWord("main", 3, indWord(0, dataSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	run(t, img, 4, "main", 0)
+	if got := img.CPU.A.Int64(); got != 99 {
+		t.Errorf("A = %d, want 99", got)
+	}
+}
+
+func TestIndirectLoopTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.LDA, 2),
+			ins(isa.HLT, 0),
+			0, // word 2: points at itself, further set
+		}))
+	mainSeg, _ := img.Segno("main")
+	if err := img.WriteWord("main", 2, indWord(0, mainSeg, 2, true)); err != nil {
+		t.Fatal(err)
+	}
+	runExpectTrap(t, img, 4, "main", 0, trap.IndirectLimit)
+}
+
+func TestIndirectWordReadValidated(t *testing.T) {
+	// The indirect word itself lives in a segment unreadable from ring
+	// 4: retrieving it must fault before anything else happens.
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insPRInd(isa.LDA, 2, 0),
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("supargs", 0, 1, 4))
+	aseg, _ := img.Segno("supargs")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: aseg, Wordno: 0}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation == nil ||
+		tr.Violation.Kind != core.ViolationReadBracket {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// ---- EAP / SPR / STIC ----
+
+func TestEAPLoadsPointerWithEffectiveRing(t *testing.T) {
+	// EAP through an argument-list indirect word must deposit the
+	// raised effective ring into the PR (the paper's array-argument
+	// pattern).
+	img := build(t, image.Config{},
+		userProc("callee", 1, 0, []word.Word{
+			isa.Instruction{Op: isa.EAP, Ind: true, PRRel: true, PR: 1, Tag: 3, Offset: 0}.Encode(), // eap3 *pr1|0
+			ins(isa.HLT, 0),
+		}),
+		image.SegmentDef{
+			Name: "args", Size: 4, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 5, R2: 5, R3: 5},
+		},
+		dataSeg("arr", 5, 5, 16))
+	argSeg, _ := img.Segno("args")
+	arrSeg, _ := img.Segno("arr")
+	if err := img.WriteWord("args", 0, indWord(4, arrSeg, 7, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(1, "callee", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[1] = cpu.Pointer{Ring: 4, Segno: argSeg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	pr3 := img.CPU.PR[3]
+	if pr3.Segno != arrSeg || pr3.Wordno != 7 {
+		t.Errorf("PR3 = %v", pr3)
+	}
+	// max(callee ring 1, PR1 ring 4, IND ring 4, args R1=5) = 5.
+	if pr3.Ring != 5 {
+		t.Errorf("PR3.Ring = %d, want 5", pr3.Ring)
+	}
+}
+
+func TestSPRStoresIndirectWord(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			isa.Instruction{Op: isa.SPR, PRRel: true, PR: 2, Tag: 6, Offset: 1}.Encode(), // spr6 pr2|1
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 8))
+	dseg, _ := img.Segno("data")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	img.CPU.PR[6] = cpu.Pointer{Ring: 5, Segno: 0o33, Wordno: 0o444}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := img.ReadWord("data", 1)
+	ind := isa.DecodeIndirect(w)
+	if ind.Ring != 5 || ind.Segno != 0o33 || ind.Wordno != 0o444 || ind.Further {
+		t.Errorf("stored indirect: %+v", ind)
+	}
+}
+
+func TestSTICStoresReturnPoint(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			isa.Instruction{Op: isa.STIC, PRRel: true, PR: 2, Tag: 1, Offset: 0}.Encode(), // stic pr2|0,+1
+			ins(isa.NOP, 0), // the "call" the return point skips
+			ins(isa.HLT, 0),
+		}),
+		dataSeg("data", 4, 5, 8))
+	dseg, _ := img.Segno("data")
+	mainSeg, _ := img.Segno("main")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[2] = cpu.Pointer{Ring: 4, Segno: dseg, Wordno: 0}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := img.ReadWord("data", 0)
+	ind := isa.DecodeIndirect(w)
+	if ind.Ring != 4 || ind.Segno != mainSeg || ind.Wordno != 2 {
+		t.Errorf("return point: %+v, want ring 4 (%o|2)", ind, mainSeg)
+	}
+}
+
+// ---- Figure 7: transfers ----
+
+func TestTransferWithinSegment(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.TRA, 2),
+			ins(isa.HLT, 0), // skipped
+			ins(isa.LIA, 77),
+			ins(isa.HLT, 0),
+		}))
+	run(t, img, 4, "main", 0)
+	if img.CPU.A.Int64() != 77 {
+		t.Error("transfer target not executed")
+	}
+}
+
+func TestTransferCrossSegmentSameRing(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.TRA, 1),
+			0, // indirect word to other|0
+		}),
+		userProc("other", 4, 0, []word.Word{
+			ins(isa.LIA, 55),
+			ins(isa.HLT, 0),
+		}))
+	otherSeg, _ := img.Segno("other")
+	if err := img.WriteWord("main", 1, indWord(0, otherSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	run(t, img, 4, "main", 0)
+	if img.CPU.A.Int64() != 55 {
+		t.Error("cross-segment transfer failed")
+	}
+}
+
+func TestTransferToNonExecutableTraps(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			insInd(isa.TRA, 1),
+			0,
+		}),
+		dataSeg("data", 4, 5, 4))
+	dseg, _ := img.Segno("data")
+	if err := img.WriteWord("main", 1, indWord(0, dseg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := runExpectTrap(t, img, 4, "main", 0, trap.AccessViolation)
+	if tr.Violation.Kind != core.ViolationNoExecute {
+		t.Errorf("violation: %v", tr.Violation)
+	}
+	// The advance check catches it while the transfer instruction is
+	// still identifiable: IPR in the trap is the TRA itself.
+	if tr.Wordno != 0 {
+		t.Errorf("trap at wordno %d, want 0 (the transfer)", tr.Wordno)
+	}
+}
+
+func TestTransferRingAlarm(t *testing.T) {
+	// A transfer whose effective address was influenced by a higher
+	// ring (PR ring 5 > IPR ring 4) is an access violation even if the
+	// target is executable in ring 4.
+	img := build(t, image.Config{},
+		image.SegmentDef{
+			Name: "main", Words: []word.Word{
+				insPR(isa.TRA, 3, 0),
+				ins(isa.HLT, 0),
+			},
+			Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 5, R3: 5},
+		})
+	mainSeg, _ := img.Segno("main")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.PR[3] = cpu.Pointer{Ring: 5, Segno: mainSeg, Wordno: 1}
+	_, err := img.CPU.Run(100)
+	var tr *trap.Trap
+	if !errors.As(err, &tr) || tr.Violation == nil ||
+		tr.Violation.Kind != core.ViolationRingAlarm {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConditionalTransferNotTaken(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 1),  // A=1, not zero
+			ins(isa.TZE, 3),  // not taken
+			ins(isa.LIA, 42), // executed
+			ins(isa.HLT, 0),
+			ins(isa.LIA, 13), // would be the TZE target
+			ins(isa.HLT, 0),
+		}))
+	run(t, img, 4, "main", 0)
+	if img.CPU.A.Int64() != 42 {
+		t.Errorf("A = %d", img.CPU.A.Int64())
+	}
+}
+
+func TestTMIandTPL(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("main", 4, 0, []word.Word{
+			ins(isa.LIA, 0o777777), // -1: negative
+			ins(isa.TMI, 3),
+			ins(isa.HLT, 0), // skipped
+			ins(isa.LIA, 5), // word 3
+			ins(isa.TPL, 6),
+			ins(isa.HLT, 0),  // skipped
+			ins(isa.LIA, 11), // word 6
+			ins(isa.HLT, 0),
+		}))
+	run(t, img, 4, "main", 0)
+	if img.CPU.A.Int64() != 11 {
+		t.Errorf("A = %d", img.CPU.A.Int64())
+	}
+}

@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/seg"
+	"repro/internal/trace"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// formEA performs the effective address calculation of Figure 5,
+// leaving the result — including the effective ring — in TPR. It
+// returns the SDW of the segment finally addressed (so the operand
+// reference that follows does not fetch it again), or a trap if an
+// indirect word could not be legally retrieved.
+//
+// The steps, as in the paper:
+//
+//  1. TPR.RING starts as the current ring of execution.
+//  2. If the instruction addresses its operand relative to a pointer
+//     register, TPR.RING := max(TPR.RING, PRn.RING) — a procedure can
+//     thereby voluntarily assume the access capabilities of a higher
+//     numbered ring (argument referencing), and can never hide the
+//     influence of a higher ring on the address.
+//  3. For each indirect word: the read of the indirect word itself is
+//     validated against the current TPR.RING; then
+//     TPR.RING := max(TPR.RING, IND.RING, SDW.R1 of the segment holding
+//     the indirect word). SDW.R1 — the top of that segment's write
+//     bracket — is the highest ring that could have forged the word.
+//
+// The non-nil *archTrap return carries architectural traps; the error
+// return carries simulator integrity faults only.
+func (c *CPU) formEA(ins isa.Instruction) (seg.SDW, *archTrap, error) {
+	cost := &c.Opt.Costs
+	c.Cycles += cost.EABase
+
+	c.TPR.Ring = c.IPR.Ring
+	if ins.PRRel {
+		pr := c.PR[ins.PR]
+		c.TPR.Segno = pr.Segno
+		c.TPR.Wordno = word.Add18(pr.Wordno, word.SignExtend18(ins.Offset))
+		c.TPR.Ring = core.EffectiveRingPR(c.TPR.Ring, pr.Ring)
+		if c.Tracer != nil {
+			c.record(trace.KindEA, c.TPR.Ring, c.TPR.Segno, c.TPR.Wordno,
+				fmt.Sprintf("pr%d-relative, effective ring %d", ins.PR, c.TPR.Ring))
+		}
+	} else {
+		c.TPR.Segno = c.IPR.Segno
+		c.TPR.Wordno = ins.Offset
+	}
+
+	// Index register modification (TAG), when the instruction class
+	// uses TAG for indexing.
+	if usesIndexTag(ins.Op) && ins.Tag != 0 {
+		x := c.X[(ins.Tag-1)&7]
+		c.TPR.Wordno = word.Add18(c.TPR.Wordno, word.SignExtend18(x))
+	}
+
+	indirect := ins.Ind
+	depth := 0
+	for {
+		sdw, err := c.fetchSDW(c.TPR.Segno)
+		if err != nil {
+			return seg.SDW{}, nil, err
+		}
+		if !indirect {
+			return sdw, nil, nil
+		}
+		if depth >= c.Opt.MaxIndirections {
+			return seg.SDW{}, &archTrap{
+				code:        trap.IndirectLimit,
+				operandSeg:  c.TPR.Segno,
+				operandWord: c.TPR.Wordno,
+			}, nil
+		}
+		depth++
+
+		// The capability to read the indirect word must be validated
+		// before it is retrieved, with respect to TPR.RING at the time
+		// it is encountered.
+		if viol := c.checkRead(sdw.View(), c.TPR.Wordno); viol != nil {
+			return seg.SDW{}, c.violationTrap(viol), nil
+		}
+		raw, err := c.readVirtual(sdw, c.TPR.Wordno)
+		if err != nil {
+			return seg.SDW{}, nil, err
+		}
+		c.Cycles += cost.Indirect
+		ind := isa.DecodeIndirect(raw)
+
+		c.TPR.Ring = core.EffectiveRingIndirect(c.TPR.Ring, ind.Ring, sdw.Brackets.R1)
+		c.TPR.Segno = ind.Segno
+		c.TPR.Wordno = ind.Wordno
+		if c.Tracer != nil {
+			c.record(trace.KindEA, c.TPR.Ring, c.TPR.Segno, c.TPR.Wordno,
+				fmt.Sprintf("indirect via %v, effective ring %d", ind, c.TPR.Ring))
+		}
+		indirect = ind.Further
+	}
+}
+
+// usesIndexTag reports whether the TAG field of op means index-register
+// modification (as opposed to a register selector or displacement).
+func usesIndexTag(op isa.Opcode) bool {
+	switch op {
+	case isa.EAP, isa.SPR, isa.STIC, isa.LDX, isa.STX, isa.LIX:
+		return false
+	}
+	return true
+}
+
+// checkRead validates a read at (TPR.Segno, wordno) against TPR.RING,
+// honouring the validation ablation switch (presence and bounds are
+// always enforced).
+func (c *CPU) checkRead(v core.SDWView, wordno uint32) *core.Violation {
+	c.Cycles += c.Opt.Costs.Validate
+	if !c.Opt.Validate {
+		return core.CheckBound(v, wordno, c.TPR.Ring)
+	}
+	viol := core.CheckRead(v, wordno, c.TPR.Ring)
+	c.traceValidate("read", wordno, viol)
+	return viol
+}
+
+// checkWrite validates a write at (TPR.Segno, wordno) against TPR.RING.
+func (c *CPU) checkWrite(v core.SDWView, wordno uint32) *core.Violation {
+	c.Cycles += c.Opt.Costs.Validate
+	if !c.Opt.Validate {
+		return core.CheckBound(v, wordno, c.TPR.Ring)
+	}
+	viol := core.CheckWrite(v, wordno, c.TPR.Ring)
+	c.traceValidate("write", wordno, viol)
+	return viol
+}
+
+// checkFetch validates the instruction fetch (Figure 4) against the
+// ring of execution.
+func (c *CPU) checkFetch(v core.SDWView) *core.Violation {
+	c.Cycles += c.Opt.Costs.Validate
+	if !c.Opt.Validate {
+		return core.CheckBound(v, c.IPR.Wordno, c.IPR.Ring)
+	}
+	return core.CheckFetch(v, c.IPR.Wordno, c.IPR.Ring)
+}
+
+// checkTransfer performs the advance check of Figure 7.
+func (c *CPU) checkTransfer(v core.SDWView) *core.Violation {
+	c.Cycles += c.Opt.Costs.Validate
+	if !c.Opt.Validate {
+		return core.CheckBound(v, c.TPR.Wordno, c.IPR.Ring)
+	}
+	viol := core.CheckTransfer(v, c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring)
+	c.traceValidate("transfer", c.TPR.Wordno, viol)
+	return viol
+}
+
+func (c *CPU) traceValidate(what string, wordno uint32, viol *core.Violation) {
+	if c.Tracer == nil {
+		return
+	}
+	detail := what + " ok"
+	if viol != nil {
+		detail = what + " violation: " + viol.Kind.String()
+	}
+	c.record(trace.KindValidate, c.TPR.Ring, c.TPR.Segno, wordno, detail)
+}

@@ -1,0 +1,122 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// TestForkedStacksViaDBRStackField exercises the Figure 8 footnote: "The
+// use of the additional DBR field allows more flexibility in stack
+// segment assignment, facilitating the preservation of stack history
+// following an error and the implementation of forked stacks."
+//
+// A downward call writes into the ring-1 stack chosen through
+// DBR.Stack. The supervisor then rebinds DBR.Stack to a spare set of
+// stack segments — as it would after an error, to preserve the faulty
+// run's stacks for examination — and the same program runs again. The
+// new run allocates frames in the spare stacks; the original stacks
+// still hold the first run's frames, untouched.
+func TestForkedStacksViaDBRStackField(t *testing.T) {
+	// Spare stacks first: with StackBase 16, the standard stacks take
+	// segments 16-23 and these land at 24-31.
+	var defs []image.SegmentDef
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		defs = append(defs, image.SegmentDef{
+			Name: "fork_" + string(rune('0'+r)), Size: 128,
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: r, R2: r, R3: r},
+		})
+	}
+	defs = append(defs,
+		userProc("main", 4, 0, []word.Word{
+			isa.Instruction{Op: isa.STIC, PRRel: true, PR: 6, Tag: 1, Offset: 0}.Encode(),
+			insInd(isa.CALL, 3),
+			ins(isa.HLT, 0),
+			0, // link
+		}),
+		gatedProc("svc", 1, 5, 1, []word.Word{
+			// Leave a recognizable frame: save the caller pointer and a
+			// marker word in this ring's stack.
+			isa.Instruction{Op: isa.EAP, Ind: true, PRRel: true, PR: 0, Tag: 5, Offset: 0}.Encode(), // eap5 *pr0|0
+			isa.Instruction{Op: isa.SPR, PRRel: true, PR: 5, Tag: 6, Offset: 0}.Encode(),            // spr6 pr5|0
+			ins(isa.LIA, 0o1234),
+			isa.Instruction{Op: isa.STA, PRRel: true, PR: 5, Offset: 1}.Encode(), // marker at frame+1
+			isa.Instruction{Op: isa.EAP, Ind: true, PRRel: true, PR: 5, Tag: 6, Offset: 0}.Encode(),
+			insPRInd(isa.RET, 6, 0),
+		}),
+	)
+	img, err := image.Build(image.Config{StackRule: cpu.StackDBRBase, StackBase: 16}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcSeg, _ := img.Segno("svc")
+	if err := img.WriteWord("main", 3, indWord(0, svcSeg, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	// Give the spare stacks their next-available counters.
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		name := "fork_" + string(rune('0'+r))
+		segno, _ := img.Segno(name)
+		counter := isa.Indirect{Ring: r, Segno: segno, Wordno: image.StackFrameStart}
+		if err := img.WriteWord(name, 0, counter.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First run, standard stacks (ring-1 stack = segment 17).
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	marker, err := img.ReadWord("stack_1", image.StackFrameStart+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marker.Int64() != 0o1234 {
+		t.Fatalf("first run left no frame marker: %v", marker)
+	}
+
+	// "After the error": the supervisor rebinds DBR.Stack to the spare
+	// set, preserving the original stacks for examination.
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	c.DBR.Stack = 24
+	forkSeg4, _ := img.Segno("fork_4")
+	c.PR[cpu.StackPtrPR] = cpu.Pointer{Ring: 4, Segno: forkSeg4, Wordno: image.StackFrameStart}
+	c.PR[cpu.StackBasePR] = cpu.Pointer{Ring: 4, Segno: forkSeg4, Wordno: 0}
+	if _, err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second run's frame went to the spare ring-1 stack...
+	forkMarker, err := img.ReadWord("fork_1", image.StackFrameStart+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forkMarker.Int64() != 0o1234 {
+		t.Fatalf("second run did not use the forked stack: %v", forkMarker)
+	}
+	// ...and the original run's history is intact.
+	preserved, err := img.ReadWord("stack_1", image.StackFrameStart+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preserved.Int64() != 0o1234 {
+		t.Fatal("original stack history disturbed")
+	}
+	// The two frames live in different segments.
+	s1, _ := img.Segno("stack_1")
+	f1, _ := img.Segno("fork_1")
+	if s1 == f1 {
+		t.Fatal("fork stack is the original stack")
+	}
+}

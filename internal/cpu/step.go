@@ -1,0 +1,524 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/seg"
+	"repro/internal/trace"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// Step executes one instruction cycle: fetch (Figure 4), effective
+// address formation (Figure 5), and execution with operand validation
+// (Figures 6-9). A trap diverts to the handler inside Step; Step
+// returns an error only when the machine halts (unhandled trap or
+// handler-requested halt) or on a simulator integrity fault.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return fmt.Errorf("cpu: step on halted machine")
+	}
+	// Asynchronous conditions (I/O completions, timer) are delivered
+	// between instructions.
+	if len(c.interrupts) > 0 {
+		if delivered, err := c.deliverDueInterrupt(); delivered {
+			return err
+		}
+	}
+	c.steps++
+	cost := &c.Opt.Costs
+
+	// ---- Instruction retrieval (Figure 4) ----
+	sdw, err := c.fetchSDW(c.IPR.Segno)
+	if err != nil {
+		return err
+	}
+	if viol := c.checkFetch(sdw.View()); viol != nil {
+		return c.raise(&archTrap{
+			code: trap.FromViolation(viol), viol: viol,
+			operandSeg: c.IPR.Segno, operandWord: c.IPR.Wordno,
+		})
+	}
+	raw, err := c.readVirtual(sdw, c.IPR.Wordno)
+	if err != nil {
+		return err
+	}
+	c.Cycles += cost.Fetch
+	ins := isa.DecodeInstruction(raw)
+	info, ok := isa.Lookup(ins.Op)
+	if !ok {
+		return c.raise(&archTrap{code: trap.IllegalOpcode})
+	}
+	if c.Tracer != nil {
+		// ins.String() formats eagerly; keep it off the traceless path.
+		c.record(trace.KindFetch, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno, ins.String())
+	}
+
+	// Privileged instructions execute only in ring 0.
+	if info.Privileged && c.IPR.Ring != 0 {
+		return c.raise(&archTrap{code: trap.PrivilegedViolation})
+	}
+
+	next := c.IPR
+	next.Wordno = word.Add18(c.IPR.Wordno, 1)
+
+	advance := func() {
+		c.IPR = next
+	}
+
+	switch info.Class {
+	case isa.ClassNone:
+		before := c.IPR
+		at, err := c.execNoOperand(ins)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		c.Cycles += cost.Exec
+		// RETT (and a supervisor service that redirects execution)
+		// installs a new instruction counter; only sequential
+		// instructions advance.
+		if !c.Halted && c.IPR == before {
+			advance()
+		}
+		return nil
+
+	case isa.ClassRead, isa.ClassWrite, isa.ClassReadWrite, isa.ClassEAOnly:
+		opSDW, at, err := c.formEA(ins)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		at, err = c.execOperand(ins, info, opSDW)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		c.Cycles += cost.Exec
+		advance()
+		return nil
+
+	case isa.ClassTransfer:
+		opSDW, at, err := c.formEA(ins)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		if viol := c.checkTransfer(opSDW.View()); viol != nil {
+			return c.raise(c.violationTrap(viol))
+		}
+		c.Cycles += cost.Exec + cost.Transfer
+		if c.transferTaken(ins.Op) {
+			// Transfers do not change the ring of execution: only the
+			// segment and word numbers are reloaded from TPR (Figure 7).
+			c.IPR.Segno = c.TPR.Segno
+			c.IPR.Wordno = c.TPR.Wordno
+			c.record(trace.KindExec, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno, "transfer taken")
+		} else {
+			advance()
+		}
+		return nil
+
+	case isa.ClassCall:
+		opSDW, at, err := c.formEA(ins)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		at, err = c.execCall(opSDW)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		return nil
+
+	case isa.ClassReturn:
+		opSDW, at, err := c.formEA(ins)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		at, err = c.execReturn(opSDW)
+		if err != nil {
+			return err
+		}
+		if at != nil {
+			return c.raise(at)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("cpu: unhandled operand class %d for %s", info.Class, info.Name)
+	}
+}
+
+// transferTaken evaluates the transfer condition against the
+// indicators.
+func (c *CPU) transferTaken(op isa.Opcode) bool {
+	switch op {
+	case isa.TRA:
+		return true
+	case isa.TZE:
+		return c.Ind.Zero
+	case isa.TNZ:
+		return !c.Ind.Zero
+	case isa.TMI:
+		return c.Ind.Neg
+	case isa.TPL:
+		return !c.Ind.Neg
+	default:
+		return false
+	}
+}
+
+// execNoOperand executes the instructions that form no effective
+// address: immediates, shifts, halt, and the privileged RETT/SVC.
+func (c *CPU) execNoOperand(ins isa.Instruction) (*archTrap, error) {
+	switch ins.Op {
+	case isa.NOP:
+	case isa.HLT:
+		c.Halted = true
+		c.record(trace.KindExec, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno, "halt")
+	case isa.LIA:
+		c.A = word.FromInt(int64(word.SignExtend18(ins.Offset)))
+		c.setIndicatorsFromA()
+	case isa.AIA:
+		c.A, c.Ind.Carry = word.Add(c.A, word.FromInt(int64(word.SignExtend18(ins.Offset))))
+		c.setIndicatorsFromA()
+	case isa.LIQ:
+		c.Q = word.FromInt(int64(word.SignExtend18(ins.Offset)))
+		c.setIndicatorsFrom(c.Q)
+	case isa.LIX:
+		c.X[ins.Tag&7] = ins.Offset
+	case isa.ALS:
+		c.A = word.FromUint64(c.A.Uint64() << (ins.Offset & 63))
+		c.setIndicatorsFromA()
+	case isa.ARS:
+		c.A = word.FromUint64(c.A.Uint64() >> (ins.Offset & 63))
+		c.setIndicatorsFromA()
+	case isa.RETT:
+		// Restore the processor state saved at the most recent trap. In
+		// memory mode (ConfigureTrapVector) the frame lives in the trap
+		// save segment; otherwise in the internal save stack (the Go
+		// supervisor calls RestoreSaved directly).
+		if c.trapVector != nil {
+			if err := c.restoreTrapFrame(); err != nil {
+				return &archTrap{code: trap.IllegalOpcode}, nil
+			}
+		} else if err := c.RestoreSaved(); err != nil {
+			return &archTrap{code: trap.IllegalOpcode}, nil
+		}
+	case isa.SVC:
+		if c.Services == nil {
+			return &archTrap{code: trap.Supervisor, service: ins.Offset}, nil
+		}
+		if c.Tracer != nil {
+			c.record(trace.KindService, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno,
+				fmt.Sprintf("service %d", ins.Offset))
+		}
+		if c.Services.Service(c, ins.Offset) == TrapHalt {
+			c.Halted = true
+		}
+	default:
+		return nil, fmt.Errorf("cpu: %v reached execNoOperand", ins)
+	}
+	return nil, nil
+}
+
+// operandRead performs a validated operand read at the effective
+// address (Figure 6).
+func (c *CPU) operandRead(view core.SDWView, opSDW seg.SDW) (word.Word, *archTrap, error) {
+	if viol := c.checkRead(view, c.TPR.Wordno); viol != nil {
+		return 0, c.violationTrap(viol), nil
+	}
+	w, err := c.readVirtual(opSDW, c.TPR.Wordno)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.Cycles += c.Opt.Costs.Operand
+	return w, nil, nil
+}
+
+// operandWrite performs a validated operand write at the effective
+// address (Figure 6).
+func (c *CPU) operandWrite(view core.SDWView, opSDW seg.SDW, w word.Word) (*archTrap, error) {
+	if viol := c.checkWrite(view, c.TPR.Wordno); viol != nil {
+		return c.violationTrap(viol), nil
+	}
+	if err := c.writeVirtual(opSDW, c.TPR.Wordno, w); err != nil {
+		return nil, err
+	}
+	c.Cycles += c.Opt.Costs.Operand
+	return nil, nil
+}
+
+// execOperand executes the instructions that reference (or, for
+// EAP-type, merely address) their operands, performing the Figure 6
+// validation.
+func (c *CPU) execOperand(ins isa.Instruction, info isa.Info, opSDW seg.SDW) (*archTrap, error) {
+	cost := &c.Opt.Costs
+	view := opSDW.View()
+
+	readOperand := func() (word.Word, *archTrap, error) { return c.operandRead(view, opSDW) }
+	writeOperand := func(w word.Word) (*archTrap, error) { return c.operandWrite(view, opSDW, w) }
+
+	switch ins.Op {
+	case isa.LDA:
+		w, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		c.A = w
+		c.setIndicatorsFromA()
+	case isa.LDQ:
+		w, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		c.Q = w
+		c.setIndicatorsFrom(c.Q)
+	case isa.LDX:
+		w, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		c.X[ins.Tag&7] = w.Lower()
+	case isa.STA:
+		return writeOperand(c.A)
+	case isa.STQ:
+		return writeOperand(c.Q)
+	case isa.STX:
+		return writeOperand(word.FromHalves(0, c.X[ins.Tag&7]))
+	case isa.ADA, isa.SBA, isa.ANA, isa.ORA, isa.ERA, isa.CMA:
+		w, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		switch ins.Op {
+		case isa.ADA:
+			c.A, c.Ind.Carry = word.Add(c.A, w)
+		case isa.SBA:
+			var borrow bool
+			c.A, borrow = word.Sub(c.A, w)
+			c.Ind.Carry = !borrow
+		case isa.ANA:
+			c.A = word.FromUint64(c.A.Uint64() & w.Uint64())
+		case isa.ORA:
+			c.A = word.FromUint64(c.A.Uint64() | w.Uint64())
+		case isa.ERA:
+			c.A = word.FromUint64(c.A.Uint64() ^ w.Uint64())
+		case isa.CMA:
+			diff, borrow := word.Sub(c.A, w)
+			c.Ind.Zero = diff.IsZero()
+			c.Ind.Neg = diff.IsNegative()
+			c.Ind.Carry = !borrow
+			return nil, nil // compare does not change A
+		}
+		c.setIndicatorsFromA()
+	case isa.AOS:
+		w, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		sum, _ := word.Add(w, 1)
+		at, err = writeOperand(sum)
+		if at != nil || err != nil {
+			return at, err
+		}
+		c.setIndicatorsFrom(sum)
+	case isa.EAP:
+		// Effective Address to Pointer register: the only way PRs are
+		// loaded. No access validation — the operand is not referenced
+		// (Figure 7). The ring field comes from TPR, so a PR can never
+		// launder away the influence of a higher ring.
+		c.PR[ins.Tag&7] = c.TPR
+		c.Cycles += cost.Validate // EAP charges nothing extra; keep symmetry
+	case isa.SPR:
+		return writeOperand(c.PR[ins.Tag&7].Indirect().Encode())
+	case isa.STIC:
+		ret := Pointer{
+			Ring:   c.IPR.Ring,
+			Segno:  c.IPR.Segno,
+			Wordno: word.Add18(c.IPR.Wordno, int32(1+ins.Tag)),
+		}
+		return writeOperand(ret.Indirect().Encode())
+	case isa.LDBR:
+		// Privileged (checked in Step): load the descriptor base
+		// register from the word pair at the operand.
+		even, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		savedWordno := c.TPR.Wordno
+		c.TPR.Wordno = word.Add18(savedWordno, 1)
+		odd, at, err := readOperand()
+		c.TPR.Wordno = savedWordno
+		if at != nil || err != nil {
+			return at, err
+		}
+		c.DBR = seg.DecodeDBR(even, odd)
+		// A new descriptor segment invalidates every cached SDW.
+		c.FlushSDWCache()
+		if c.Tracer != nil {
+			c.record(trace.KindExec, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno,
+				fmt.Sprintf("ldbr addr=%o bound=%o stack=%o", c.DBR.Addr, c.DBR.Bound, c.DBR.Stack))
+		}
+	case isa.SIO:
+		// Privileged: start I/O from the control block at the operand.
+		_, at, err := readOperand()
+		if at != nil || err != nil {
+			return at, err
+		}
+		if c.IO != nil {
+			if err := c.IO.StartIO(c, c.TPR.Segno, c.TPR.Wordno); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("cpu: %v reached execOperand", ins)
+	}
+	return nil, nil
+}
+
+// execCall performs the CALL instruction (Figure 8). The effective
+// address — including the effective ring — is in TPR; opSDW describes
+// the target segment.
+func (c *CPU) execCall(opSDW seg.SDW) (*archTrap, error) {
+	cost := &c.Opt.Costs
+	c.Cycles += cost.Exec + cost.Transfer + cost.Call + cost.Validate
+
+	sameSegment := c.TPR.Segno == c.IPR.Segno
+	decision, viol := core.DecideCall(opSDW.View(), c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring, sameSegment)
+	if viol != nil && c.Opt.Validate {
+		return c.violationTrap(viol), nil
+	}
+	if viol != nil {
+		// Validation ablation: treat as a same-ring transfer if the
+		// target exists; bounds were already enforced by formEA's SDW
+		// fetch path, so re-check bounds only.
+		if bviol := core.CheckBound(opSDW.View(), c.TPR.Wordno, c.IPR.Ring); bviol != nil {
+			return c.violationTrap(bviol), nil
+		}
+		decision = core.CallDecision{Outcome: core.CallSameRing, NewRing: c.IPR.Ring}
+	}
+
+	if decision.Outcome == core.CallUpwardTrap {
+		return &archTrap{
+			code:        trap.UpwardCall,
+			operandSeg:  c.TPR.Segno,
+			operandWord: c.TPR.Wordno,
+		}, nil
+	}
+
+	newRing := decision.NewRing
+
+	// Form the stack base pointer in PR0. The processor supplies the
+	// stack segment number, so no procedure in a higher ring can affect
+	// the called procedure's stack pointer.
+	stackSegno, at := c.stackSegno(newRing)
+	if at != nil {
+		return at, nil
+	}
+	c.PR[StackBasePR] = Pointer{Ring: newRing, Segno: stackSegno, Wordno: 0}
+
+	if c.Tracer != nil {
+		if newRing != c.IPR.Ring {
+			c.record(trace.KindRingSwitch, newRing, c.TPR.Segno, c.TPR.Wordno,
+				fmt.Sprintf("call: ring %d -> %d", c.IPR.Ring, newRing))
+		}
+		c.record(trace.KindExec, newRing, c.TPR.Segno, c.TPR.Wordno, decision.Outcome.String())
+	}
+
+	c.IPR = Pointer{Ring: newRing, Segno: c.TPR.Segno, Wordno: c.TPR.Wordno}
+	return nil, nil
+}
+
+// stackSegno forms the stack segment number for a ring per the
+// configured rule, verifying the stack segment exists.
+func (c *CPU) stackSegno(ring core.Ring) (uint32, *archTrap) {
+	var segno uint32
+	switch {
+	case ring == c.IPR.Ring:
+		// Footnote rule, both configurations: a call that does not
+		// change the ring takes the stack segment number directly from
+		// the stack pointer register, allowing nonstandard stacks.
+		segno = c.PR[StackPtrPR].Segno
+	case c.Opt.StackRule == StackDBRBase:
+		segno = c.DBR.Stack + uint32(ring)
+	default:
+		segno = uint32(ring)
+	}
+	sdw, err := c.fetchSDW(segno)
+	if err != nil || !sdw.Present {
+		return 0, &archTrap{code: trap.StackFault, operandSeg: segno}
+	}
+	return segno, nil
+}
+
+// execReturn performs the RETURN instruction (Figure 9). The effective
+// address — including the effective ring, which is the ring returned
+// to — is in TPR.
+func (c *CPU) execReturn(opSDW seg.SDW) (*archTrap, error) {
+	cost := &c.Opt.Costs
+	c.Cycles += cost.Exec + cost.Transfer + cost.Return + cost.Validate
+
+	decision, viol := core.DecideReturn(opSDW.View(), c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring)
+	if viol != nil && c.Opt.Validate {
+		return c.violationTrap(viol), nil
+	}
+	if viol != nil {
+		if bviol := core.CheckBound(opSDW.View(), c.TPR.Wordno, c.IPR.Ring); bviol != nil {
+			return c.violationTrap(bviol), nil
+		}
+		decision = core.ReturnDecision{Outcome: core.ReturnSameRing, NewRing: c.TPR.Ring}
+	}
+
+	if decision.Outcome == core.ReturnDownwardTrap {
+		return &archTrap{
+			code:        trap.DownwardReturn,
+			operandSeg:  c.TPR.Segno,
+			operandWord: c.TPR.Wordno,
+		}, nil
+	}
+
+	newRing := decision.NewRing
+	if decision.Outcome == core.ReturnUpward {
+		// Raise every PRn.RING to at least the new ring (Figure 9).
+		// Together with PRs being loadable only by EAP, this maintains
+		// PRn.RING ≥ IPR.RING.
+		rings := make([]core.Ring, len(c.PR))
+		for i := range c.PR {
+			rings[i] = c.PR[i].Ring
+		}
+		core.RaisePRRings(rings, newRing)
+		for i := range c.PR {
+			c.PR[i].Ring = rings[i]
+		}
+		if c.Tracer != nil {
+			c.record(trace.KindRingSwitch, newRing, c.TPR.Segno, c.TPR.Wordno,
+				fmt.Sprintf("return: ring %d -> %d", c.IPR.Ring, newRing))
+		}
+	}
+	if c.Tracer != nil {
+		c.record(trace.KindExec, newRing, c.TPR.Segno, c.TPR.Wordno, decision.Outcome.String())
+	}
+
+	c.IPR = Pointer{Ring: newRing, Segno: c.TPR.Segno, Wordno: c.TPR.Wordno}
+	return nil, nil
+}

@@ -1,0 +1,192 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// Memory-resident trap frames: the paper's actual trap mechanism.
+// "When the processor detects such a condition, it changes the ring of
+// execution to zero and transfers control to a fixed location in the
+// supervisor. A special instruction allows the state of the processor
+// at the time of the trap to be restored later."
+//
+// When a trap vector is configured (and no Go handler is attached), the
+// processor dumps its state into a frame in the trap-save segment,
+// switches to ring 0 at the vector location, and lets simulated ring-0
+// code handle the condition; the privileged RETT instruction restores
+// the dumped frame. Frames stack (word 0 of the save segment is the
+// next-free counter), so a trap taken inside a handler nests correctly.
+//
+// Frame layout (TrapFrameWords words):
+//
+//	 0      trap code (low 9 bits) | service number (bits 9-26)
+//	 1      operand pointer (indirect-word format; ring field unused)
+//	 2      IPR   (indirect-word format: ring, segno, wordno)
+//	 3      TPR   (same)
+//	 4-11   PR0-PR7 (same)
+//	12      A
+//	13      Q
+//	14-21   X0-X7 (low 18 bits each)
+//	22      indicators (bit 0 zero, bit 1 neg, bit 2 carry)
+//	23      violation kind (low bits; 0 = none) | violation ring (bits 8-10)
+
+// TrapFrameWords is the size of one memory trap frame.
+const TrapFrameWords = 24
+
+// ConfigureTrapVector arms memory-mode trap handling: traps transfer to
+// vector (forced to ring 0) after dumping a frame into saveSeg, whose
+// word 0 must hold the next-free frame offset (usually 1).
+func (c *CPU) ConfigureTrapVector(vector Pointer, saveSeg uint32) {
+	vector.Ring = 0
+	c.trapVector = &vector
+	c.trapSaveSeg = saveSeg
+}
+
+// TrapVectorConfigured reports whether memory-mode trap handling is on.
+func (c *CPU) TrapVectorConfigured() bool { return c.trapVector != nil }
+
+// pointerWord encodes a pointer in the indirect-word format.
+func pointerWord(p Pointer) word.Word {
+	return isa.Indirect{Ring: p.Ring, Segno: p.Segno, Wordno: p.Wordno}.Encode()
+}
+
+func wordPointer(w word.Word) Pointer {
+	ind := isa.DecodeIndirect(w)
+	return Pointer{Ring: ind.Ring, Segno: ind.Segno, Wordno: ind.Wordno}
+}
+
+// dumpTrapFrame writes the processor state and trap information into a
+// fresh frame of the save segment and returns nil on success.
+func (c *CPU) dumpTrapFrame(t *trap.Trap) error {
+	sdw, err := c.fetchSDW(c.trapSaveSeg)
+	if err != nil {
+		return err
+	}
+	if !sdw.Present {
+		return fmt.Errorf("cpu: trap save segment %o absent", c.trapSaveSeg)
+	}
+	counter, err := c.readVirtual(sdw, 0)
+	if err != nil {
+		return err
+	}
+	base := uint32(counter.Uint64()) & 0o777777
+	if base+TrapFrameWords >= sdw.Bound {
+		return fmt.Errorf("cpu: trap save segment overflow at %o", base)
+	}
+	w := func(off uint32, v word.Word) {
+		if err == nil {
+			err = c.writeVirtual(sdw, base+off, v)
+		}
+	}
+	w(0, word.Word(0).Deposit(0, 9, uint64(t.Code)).Deposit(9, 18, uint64(t.Service)))
+	w(1, pointerWord(Pointer{Segno: t.OperandSeg, Wordno: t.OperandWord}))
+	w(2, pointerWord(c.IPR))
+	w(3, pointerWord(c.TPR))
+	for i := 0; i < 8; i++ {
+		w(uint32(4+i), pointerWord(c.PR[i]))
+	}
+	w(12, c.A)
+	w(13, c.Q)
+	for i := 0; i < 8; i++ {
+		w(uint32(14+i), word.FromHalves(0, c.X[i]))
+	}
+	ind := word.Word(0).
+		WithBit(0, c.Ind.Zero).
+		WithBit(1, c.Ind.Neg).
+		WithBit(2, c.Ind.Carry)
+	w(22, ind)
+	var vk, vr uint64
+	if t.Violation != nil {
+		vk = uint64(t.Violation.Kind)
+		vr = uint64(t.Violation.Ring)
+	}
+	w(23, word.Word(0).Deposit(0, 8, vk).Deposit(8, 3, vr))
+	if err != nil {
+		return err
+	}
+	// Bump the next-free counter last, committing the frame.
+	return c.writeVirtual(sdw, 0, word.FromInt(int64(base+TrapFrameWords)))
+}
+
+// restoreTrapFrame pops the most recent memory frame into the live
+// registers (the RETT instruction in memory mode).
+func (c *CPU) restoreTrapFrame() error {
+	sdw, err := c.fetchSDW(c.trapSaveSeg)
+	if err != nil {
+		return err
+	}
+	counter, err := c.readVirtual(sdw, 0)
+	if err != nil {
+		return err
+	}
+	top := uint32(counter.Uint64()) & 0o777777
+	if top < 1+TrapFrameWords {
+		return fmt.Errorf("cpu: rett with empty trap save segment")
+	}
+	base := top - TrapFrameWords
+	r := func(off uint32) word.Word {
+		if err != nil {
+			return 0
+		}
+		var v word.Word
+		v, err = c.readVirtual(sdw, base+off)
+		return v
+	}
+	ipr := wordPointer(r(2))
+	tpr := wordPointer(r(3))
+	var prs [8]Pointer
+	for i := 0; i < 8; i++ {
+		prs[i] = wordPointer(r(uint32(4 + i)))
+	}
+	a, q := r(12), r(13)
+	var xs [8]uint32
+	for i := 0; i < 8; i++ {
+		xs[i] = r(uint32(14 + i)).Lower()
+	}
+	indw := r(22)
+	if err != nil {
+		return err
+	}
+	c.IPR, c.TPR, c.PR = ipr, tpr, prs
+	c.A, c.Q, c.X = a, q, xs
+	c.Ind = Indicators{Zero: indw.Bit(0), Neg: indw.Bit(1), Carry: indw.Bit(2)}
+	c.Cycles += c.Opt.Costs.Restore
+	return c.writeVirtual(sdw, 0, word.FromInt(int64(base)))
+}
+
+// raiseToVector is the memory-mode trap path: dump the frame, switch to
+// ring 0 at the fixed vector location, keep executing.
+func (c *CPU) raiseToVector(t *trap.Trap) error {
+	if err := c.dumpTrapFrame(t); err != nil {
+		c.Halted = true
+		return fmt.Errorf("cpu: trap dump failed (%v) while handling %w", err, t)
+	}
+	c.IPR = *c.trapVector
+	return nil
+}
+
+// DecodeTrapFrame reads a dumped frame back into structured form (for
+// tests and debuggers examining the save segment from outside).
+func DecodeTrapFrame(words []word.Word) (code trap.Code, saved SavedState, violKind core.ViolationKind, err error) {
+	if len(words) < TrapFrameWords {
+		return 0, SavedState{}, 0, fmt.Errorf("cpu: short trap frame")
+	}
+	code = trap.Code(words[0].Field(0, 9))
+	saved.IPR = wordPointer(words[2])
+	saved.TPR = wordPointer(words[3])
+	for i := 0; i < 8; i++ {
+		saved.PR[i] = wordPointer(words[4+i])
+	}
+	saved.A, saved.Q = words[12], words[13]
+	for i := 0; i < 8; i++ {
+		saved.X[i] = words[14+i].Lower()
+	}
+	saved.Ind = Indicators{Zero: words[22].Bit(0), Neg: words[22].Bit(1), Carry: words[22].Bit(2)}
+	violKind = core.ViolationKind(words[23].Field(0, 8))
+	return code, saved, violKind, nil
+}

@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/trap"
+)
+
+// archTrap describes an architectural trap condition detected during
+// the instruction cycle, before it is materialized into a *trap.Trap
+// with the full machine context. Distinct from ordinary Go errors,
+// which indicate simulator integrity faults (impossible physical
+// references) and abort the run.
+type archTrap struct {
+	code        trap.Code
+	viol        *core.Violation
+	service     uint32
+	operandSeg  uint32
+	operandWord uint32
+}
+
+// violationTrap wraps a core violation as an architectural trap at the
+// current operand location.
+func (c *CPU) violationTrap(viol *core.Violation) *archTrap {
+	return &archTrap{
+		code:        trap.FromViolation(viol),
+		viol:        viol,
+		operandSeg:  c.TPR.Segno,
+		operandWord: c.TPR.Wordno,
+	}
+}
+
+// raise performs the trap action of the paper: capture the processor
+// state, conceptually switch to ring 0, and enter the supervisor (the
+// Go trap handler). If the handler resumes, raise returns nil and the
+// instruction cycle continues at the (possibly rewritten) IPR. If
+// there is no handler, or the handler halts, the machine stops and the
+// materialized trap is returned as the error.
+func (c *CPU) raise(at *archTrap) error {
+	t := &trap.Trap{
+		Code:        at.code,
+		Violation:   at.viol,
+		Ring:        c.IPR.Ring,
+		Segno:       c.IPR.Segno,
+		Wordno:      c.IPR.Wordno,
+		OperandSeg:  at.operandSeg,
+		OperandWord: at.operandWord,
+		Service:     at.service,
+	}
+	c.Cycles += c.Opt.Costs.Trap
+	c.record(trace.KindTrap, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno, t.Code.String())
+
+	if c.Handler == nil && c.trapVector != nil {
+		// Memory-mode: the supervisor is simulated ring-0 code at the
+		// fixed vector location.
+		return c.raiseToVector(t)
+	}
+
+	c.saved = append(c.saved, SavedState{
+		IPR: c.IPR, TPR: c.TPR, PR: c.PR,
+		A: c.A, Q: c.Q, X: c.X, Ind: c.Ind,
+		Trap: t,
+	})
+
+	if c.Handler == nil {
+		c.Halted = true
+		return t
+	}
+	// The handler is the ring-0 supervisor: it runs with the machine
+	// conceptually in ring 0 at the fixed trap location.
+	prevRing := c.IPR.Ring
+	c.IPR.Ring = 0
+	action := c.Handler.HandleTrap(c, t)
+	if action == TrapHalt {
+		c.Halted = true
+		return t
+	}
+	if c.IPR.Ring == 0 && prevRing != 0 && c.SavedDepth() > 0 && c.PeekSaved().Trap == t {
+		// The handler resumed without restoring or redirecting: that is
+		// a supervisor bug (it would re-run the trapped instruction in
+		// ring 0). Halt loudly rather than simulate a privilege hole.
+		c.Halted = true
+		return t
+	}
+	return nil
+}

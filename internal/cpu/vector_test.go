@@ -1,0 +1,194 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// TestAssemblyTrapHandler runs the paper's trap mechanism end to end
+// with NO Go supervisor at all: traps dump a memory frame and transfer
+// to a fixed ring-0 location whose handler is written in the machine's
+// own assembly; it counts the violation, advances the saved instruction
+// counter past the faulting instruction, and resumes with RETT.
+func TestAssemblyTrapHandler(t *testing.T) {
+	prog, err := asm.Assemble(`
+        .seg    user
+        .bracket 4,4,4
+        lia     1
+        sta     *p0             ; violation: guarded is read-only to ring 4
+        lia     2
+        sta     *p1             ; violation again
+        hlt
+p0:     .its    4, guarded$base
+p1:     .its    4, guarded$base
+
+        .seg    handler
+        .bracket 0,0,0
+        .access rwe
+; The fixed trap location. Frame layout: tsave word 0 is the next-free
+; counter; the current frame starts at counter-24; the saved IPR is the
+; frame's word 2, i.e. tsave word counter-22.
+entry:  aos     nviol
+        lda     *cnt            ; A := next-free counter
+        aia     -22
+        sta     tmp
+        ldx1    tmp
+        eap4    *cnt            ; PR4 := tsave|0
+        lda     pr4|0,x1        ; A := saved IPR (indirect-word format)
+        aia     1               ; advance the word number past the fault
+        sta     pr4|0,x1
+        rett                    ; restore the (edited) frame
+        .entry  nviol
+nviol:  .word   0
+tmp:    .word   0
+cnt:    .its    0, tsave$base
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.BuildImage(image.Config{}, prog,
+		image.SegmentDef{
+			Name: "guarded", Size: 4, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 1, R2: 5, R3: 5},
+		},
+		image.SegmentDef{
+			Name: "tsave", Size: 256, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlerSeg, _ := img.Segno("handler")
+	tsaveSeg, _ := img.Segno("tsave")
+	if err := img.WriteWord("tsave", 0, word.FromInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	c.Handler = nil
+	c.ConfigureTrapVector(cpu.Pointer{Segno: handlerSeg, Wordno: 0}, tsaveSeg)
+	if !c.TrapVectorConfigured() {
+		t.Fatal("vector not configured")
+	}
+
+	if err := img.Start(4, "user", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(1000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Both violations were handled by the assembly supervisor.
+	nviolOff := prog.Segment("handler").Symbols["nviol"]
+	n, _ := img.ReadWord("handler", nviolOff)
+	if n.Int64() != 2 {
+		t.Errorf("handled %d violations, want 2", n.Int64())
+	}
+	// Execution resumed correctly after each skip: A holds 2 at halt.
+	if c.A.Int64() != 2 {
+		t.Errorf("A = %d", c.A.Int64())
+	}
+	// The guarded segment was never written.
+	g, _ := img.ReadWord("guarded", 0)
+	if !g.IsZero() {
+		t.Error("guarded word written")
+	}
+	// The user finished in ring 4 (RETT restored the ring).
+	if c.IPR.Ring != 4 {
+		t.Errorf("final ring %d", c.IPR.Ring)
+	}
+	// The save segment counter is back at 1: every frame was popped.
+	cnt, _ := img.ReadWord("tsave", 0)
+	if cnt.Int64() != 1 {
+		t.Errorf("save counter %d, want 1", cnt.Int64())
+	}
+}
+
+// TestTrapFrameDumpDecode verifies the frame format round trip through
+// memory.
+func TestTrapFrameDumpDecode(t *testing.T) {
+	img := build(t, image.Config{},
+		userProc("user", 4, 0, []word.Word{
+			ins(isa.LIA, 77),
+			word.Word(0), // illegal opcode -> trap
+		}),
+		image.SegmentDef{
+			Name: "tsave", Size: 64, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+		userProc("handler", 0, 0, []word.Word{ins(isa.HLT, 0)}))
+	tsaveSeg, _ := img.Segno("tsave")
+	handlerSeg, _ := img.Segno("handler")
+	if err := img.WriteWord("tsave", 0, word.FromInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	c.ConfigureTrapVector(cpu.Pointer{Segno: handlerSeg, Wordno: 0}, tsaveSeg)
+	if err := img.Start(4, "user", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Runs until the handler's HLT... but the handler executes in ring
+	// 0 while its bracket is [0,0]: fine.
+	if _, err := c.Run(100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	frame, err := mem.ReadRange(img.Mem, frameBase(t, img, tsaveSeg), cpu.TrapFrameWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, saved, _, err := cpu.DecodeTrapFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != trap.IllegalOpcode {
+		t.Errorf("code %v", code)
+	}
+	if saved.A.Int64() != 77 {
+		t.Errorf("saved A = %d", saved.A.Int64())
+	}
+	if saved.IPR.Ring != 4 || saved.IPR.Wordno != 1 {
+		t.Errorf("saved IPR %v", saved.IPR)
+	}
+}
+
+// frameBase finds the physical base of the (single) dumped frame.
+func frameBase(t *testing.T, img *image.Image, tsaveSeg uint32) int {
+	t.Helper()
+	sdw, err := img.SDW(tsaveSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(sdw.Addr) + 1
+}
+
+func TestTrapFrameOverflowHalts(t *testing.T) {
+	// A trap-save segment too small for a frame stops the machine
+	// loudly instead of corrupting memory.
+	img := build(t, image.Config{},
+		userProc("user", 4, 0, []word.Word{word.Word(0)}), // illegal opcode
+		image.SegmentDef{
+			Name: "tsave", Size: 8, Read: true, Write: true, // < TrapFrameWords
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+		userProc("handler", 0, 0, []word.Word{ins(isa.HLT, 0)}))
+	tsaveSeg, _ := img.Segno("tsave")
+	handlerSeg, _ := img.Segno("handler")
+	if err := img.WriteWord("tsave", 0, word.FromInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	c.ConfigureTrapVector(cpu.Pointer{Segno: handlerSeg, Wordno: 0}, tsaveSeg)
+	if err := img.Start(4, "user", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Run(100)
+	if err == nil || !c.Halted {
+		t.Fatalf("overflow not fatal: %v", err)
+	}
+}

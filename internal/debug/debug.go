@@ -1,0 +1,196 @@
+// Package debug is a programmatic debugger for the simulated machine:
+// breakpoints on virtual addresses, watchpoints on words, single
+// stepping and register dumps. The ringsim CLI exposes it through the
+// -break and -watch flags; tests drive it directly.
+//
+// The debugger is deliberately outside the protection model — it is
+// the operator's console, reading memory physically — so it can watch
+// supervisor state no ring could.
+package debug
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/seg"
+	"repro/internal/word"
+)
+
+// Addr is a virtual address: segment and word number.
+type Addr struct {
+	Segno  uint32
+	Wordno uint32
+}
+
+func (a Addr) String() string { return fmt.Sprintf("(%o|%o)", a.Segno, a.Wordno) }
+
+// StopCause reports why Run returned.
+type StopCause int
+
+const (
+	// StopBreak: the instruction pointer reached a breakpoint (before
+	// executing the instruction there).
+	StopBreak StopCause = iota
+	// StopWatch: a watched word changed value.
+	StopWatch
+	// StopHalt: the machine halted cleanly.
+	StopHalt
+	// StopTrap: an unrecovered trap stopped the machine.
+	StopTrap
+	// StopLimit: the step budget ran out.
+	StopLimit
+)
+
+func (c StopCause) String() string {
+	switch c {
+	case StopBreak:
+		return "breakpoint"
+	case StopWatch:
+		return "watchpoint"
+	case StopHalt:
+		return "halt"
+	case StopTrap:
+		return "trap"
+	case StopLimit:
+		return "step limit"
+	default:
+		return fmt.Sprintf("StopCause(%d)", int(c))
+	}
+}
+
+// Stop describes a debugger stop.
+type Stop struct {
+	Cause StopCause
+	// At is the instruction pointer at the stop.
+	At Addr
+	// Watched and Old/New are set for watchpoint stops.
+	Watched  Addr
+	Old, New word.Word
+	// Err carries the trap for StopTrap.
+	Err error
+}
+
+// Debugger wraps a CPU with breakpoints and watchpoints.
+type Debugger struct {
+	C *cpu.CPU
+
+	breaks  map[Addr]bool
+	watches map[Addr]word.Word
+}
+
+// New returns a debugger for c.
+func New(c *cpu.CPU) *Debugger {
+	return &Debugger{C: c, breaks: map[Addr]bool{}, watches: map[Addr]word.Word{}}
+}
+
+// AddBreak arms a breakpoint.
+func (d *Debugger) AddBreak(a Addr) { d.breaks[a] = true }
+
+// RemoveBreak disarms a breakpoint.
+func (d *Debugger) RemoveBreak(a Addr) { delete(d.breaks, a) }
+
+// AddWatch arms a watchpoint on a word, capturing its current value.
+func (d *Debugger) AddWatch(a Addr) error {
+	w, err := d.peek(a)
+	if err != nil {
+		return err
+	}
+	d.watches[a] = w
+	return nil
+}
+
+// peek reads a word with operator privilege.
+func (d *Debugger) peek(a Addr) (word.Word, error) {
+	sdw, err := d.C.Table().Fetch(a.Segno)
+	if err != nil {
+		return 0, err
+	}
+	if !sdw.Present || a.Wordno >= sdw.Bound {
+		return 0, fmt.Errorf("debug: %v outside its segment", a)
+	}
+	return d.C.Mem.Read(seg.Translate(sdw, a.Wordno))
+}
+
+// checkWatches returns the first changed watchpoint, if any, and
+// refreshes the stored values.
+func (d *Debugger) checkWatches() (Addr, word.Word, word.Word, bool) {
+	// Deterministic order for reproducible stops.
+	addrs := make([]Addr, 0, len(d.watches))
+	for a := range d.watches {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Segno != addrs[j].Segno {
+			return addrs[i].Segno < addrs[j].Segno
+		}
+		return addrs[i].Wordno < addrs[j].Wordno
+	})
+	for _, a := range addrs {
+		old := d.watches[a]
+		cur, err := d.peek(a)
+		if err != nil {
+			continue
+		}
+		if cur != old {
+			d.watches[a] = cur
+			return a, old, cur, true
+		}
+	}
+	return Addr{}, 0, 0, false
+}
+
+// Step executes one instruction (ignoring breakpoints) and reports any
+// watchpoint change.
+func (d *Debugger) Step() (*Stop, error) {
+	if err := d.C.Step(); err != nil {
+		return &Stop{Cause: StopTrap, At: d.here(), Err: err}, nil
+	}
+	if a, old, cur, hit := d.checkWatches(); hit {
+		return &Stop{Cause: StopWatch, At: d.here(), Watched: a, Old: old, New: cur}, nil
+	}
+	if d.C.Halted {
+		return &Stop{Cause: StopHalt, At: d.here()}, nil
+	}
+	return nil, nil
+}
+
+func (d *Debugger) here() Addr {
+	return Addr{Segno: d.C.IPR.Segno, Wordno: d.C.IPR.Wordno}
+}
+
+// Run executes until a breakpoint, watchpoint change, halt, trap, or
+// the step limit.
+func (d *Debugger) Run(maxSteps int) *Stop {
+	for i := 0; i < maxSteps; i++ {
+		if d.breaks[d.here()] {
+			return &Stop{Cause: StopBreak, At: d.here()}
+		}
+		stop, err := d.Step()
+		if err != nil {
+			return &Stop{Cause: StopTrap, At: d.here(), Err: err}
+		}
+		if stop != nil {
+			return stop
+		}
+	}
+	return &Stop{Cause: StopLimit, At: d.here()}
+}
+
+// Dump renders the register state: the instruction pointer with its
+// ring, the accumulators, the pointer registers, index registers and
+// indicators.
+func (d *Debugger) Dump() string {
+	c := d.C
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "IPR %v   A %v   Q %v\n", c.IPR, c.A, c.Q)
+	for i := 0; i < 8; i += 2 {
+		fmt.Fprintf(&sb, "PR%d %-24v PR%d %-24v\n", i, c.PR[i], i+1, c.PR[i+1])
+	}
+	fmt.Fprintf(&sb, "X   %o %o %o %o %o %o %o %o\n",
+		c.X[0], c.X[1], c.X[2], c.X[3], c.X[4], c.X[5], c.X[6], c.X[7])
+	fmt.Fprintf(&sb, "IND zero=%v neg=%v carry=%v   cycles=%d\n",
+		c.Ind.Zero, c.Ind.Neg, c.Ind.Carry, c.Cycles)
+	return sb.String()
+}

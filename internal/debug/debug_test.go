@@ -1,0 +1,185 @@
+package debug_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/debug"
+	"repro/internal/image"
+	"repro/internal/sup"
+)
+
+const dbgSrc = `
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        lia     1
+        sta     counter
+        lia     2
+        sta     counter
+        stic    pr6|0,+1
+        call    svc$entry
+        hlt
+        .entry  counter
+counter: .word  0
+
+        .seg    svc
+        .bracket 1,1,5
+        .gate   entry
+entry:  eap5    *pr0|0
+        spr6    pr5|0
+        lia     9
+        eap6    *pr5|0
+        return  *pr6|0
+`
+
+func boot(t *testing.T) (*image.Image, *asm.Program, *debug.Debugger) {
+	t.Helper()
+	prog, err := asm.Assemble(dbgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Attach(img, "dbg")
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	return img, prog, debug.New(img.CPU)
+}
+
+func TestBreakpointAtGate(t *testing.T) {
+	img, _, d := boot(t)
+	svcSeg, _ := img.Segno("svc")
+	d.AddBreak(debug.Addr{Segno: svcSeg, Wordno: 0}) // the gate's vector slot
+	stop := d.Run(1000)
+	if stop.Cause != debug.StopBreak {
+		t.Fatalf("stop: %+v", stop)
+	}
+	if stop.At.Segno != svcSeg || stop.At.Wordno != 0 {
+		t.Errorf("stopped at %v", stop.At)
+	}
+	// The machine is IN ring 1 now (the downward call happened), with
+	// the breakpoint instruction not yet executed.
+	if img.CPU.IPR.Ring != 1 {
+		t.Errorf("ring at break: %d", img.CPU.IPR.Ring)
+	}
+	// Removing the break lets the run finish.
+	d.RemoveBreak(debug.Addr{Segno: svcSeg, Wordno: 0})
+	stop = d.Run(1000)
+	if stop.Cause != debug.StopHalt {
+		t.Fatalf("second stop: %+v", stop)
+	}
+	if img.CPU.A.Int64() != 9 {
+		t.Errorf("A = %d", img.CPU.A.Int64())
+	}
+}
+
+func TestWatchpoint(t *testing.T) {
+	img, prog, d := boot(t)
+	mainSeg, _ := img.Segno("main")
+	counterOff := prog.Segment("main").Symbols["counter"]
+	wa := debug.Addr{Segno: mainSeg, Wordno: counterOff}
+	if err := d.AddWatch(wa); err != nil {
+		t.Fatal(err)
+	}
+	// First stop: counter 0 -> 1.
+	stop := d.Run(1000)
+	if stop.Cause != debug.StopWatch || stop.Watched != wa {
+		t.Fatalf("stop: %+v", stop)
+	}
+	if stop.Old.Int64() != 0 || stop.New.Int64() != 1 {
+		t.Errorf("transition %v -> %v", stop.Old, stop.New)
+	}
+	// Second stop: 1 -> 2.
+	stop = d.Run(1000)
+	if stop.Cause != debug.StopWatch || stop.New.Int64() != 2 {
+		t.Fatalf("second stop: %+v", stop)
+	}
+	// Then a clean halt.
+	stop = d.Run(1000)
+	if stop.Cause != debug.StopHalt {
+		t.Fatalf("final stop: %+v", stop)
+	}
+}
+
+func TestStepAndDump(t *testing.T) {
+	_, _, d := boot(t)
+	stop, err := d.Step()
+	if err != nil || stop != nil {
+		t.Fatalf("step: %v %v", stop, err)
+	}
+	dump := d.Dump()
+	for _, want := range []string{"IPR", "PR0", "PR7", "IND", "cycles="} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %s:\n%s", want, dump)
+		}
+	}
+}
+
+func TestStopOnTrap(t *testing.T) {
+	prog, err := asm.Assemble(`
+        .seg    main
+        .bracket 4,4,4
+        .word   0               ; illegal opcode
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	d := debug.New(img.CPU)
+	stop := d.Run(100)
+	if stop.Cause != debug.StopTrap || stop.Err == nil {
+		t.Fatalf("stop: %+v", stop)
+	}
+}
+
+func TestStopLimit(t *testing.T) {
+	prog, err := asm.Assemble(`
+        .seg    main
+        .bracket 4,4,4
+loop:   tra     loop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	d := debug.New(img.CPU)
+	if stop := d.Run(25); stop.Cause != debug.StopLimit {
+		t.Fatalf("stop: %+v", stop)
+	}
+}
+
+func TestWatchErrors(t *testing.T) {
+	_, _, d := boot(t)
+	if err := d.AddWatch(debug.Addr{Segno: 9999, Wordno: 0}); err == nil {
+		t.Error("watch on absent segment accepted")
+	}
+}
+
+func TestStopCauseStrings(t *testing.T) {
+	for _, c := range []debug.StopCause{debug.StopBreak, debug.StopWatch,
+		debug.StopHalt, debug.StopTrap, debug.StopLimit, debug.StopCause(9)} {
+		if c.String() == "" {
+			t.Errorf("empty string for %d", c)
+		}
+	}
+	if (debug.Addr{Segno: 0o12, Wordno: 0o7}).String() != "(12|7)" {
+		t.Error("addr string")
+	}
+}

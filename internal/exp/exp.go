@@ -1,0 +1,89 @@
+// Package exp is the experiment harness: it regenerates, as text
+// reports, every figure of the paper (F1-F9) and every quantitative or
+// structural claim the paper makes in prose (T1-T6), per the index in
+// DESIGN.md. The ringbench command prints the reports; EXPERIMENTS.md
+// records paper-vs-measured for each; the benchmarks in bench_test.go
+// time the same kernels under the Go benchmark harness.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's report.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+func (r *Result) addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) add(lines ...string) {
+	r.Lines = append(r.Lines, lines...)
+}
+
+// String renders the report.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// runner produces one experiment's result.
+type runner struct {
+	title string
+	run   func() (*Result, error)
+}
+
+var registry = map[string]runner{}
+
+func register(id, title string, run func(r *Result) error) {
+	registry[id] = runner{title: title, run: func() (*Result, error) {
+		r := &Result{ID: id, Title: title}
+		if err := run(r); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		return r, nil
+	}}
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r.run()
+}
+
+// RunAll executes every experiment in id order.
+func RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+type coreRing = core.Ring
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+		"T1", "T10", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("F99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Every experiment must run successfully and produce a non-trivial
+// report. The experiments contain their own shape assertions (ratios,
+// identical-code checks, zero-trap checks), so this is the main
+// regression gate for the reproduction.
+func TestRunAllExperiments(t *testing.T) {
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if strings.Count(r.String(), "\n") < 4 {
+			t.Errorf("%s: report too short:\n%s", r.ID, r.String())
+		}
+		if !strings.Contains(r.String(), r.ID) {
+			t.Errorf("%s: report missing id", r.ID)
+		}
+	}
+}
+
+func TestT1ShapeHolds(t *testing.T) {
+	r, err := Run("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	if !strings.Contains(out, "software/hardware cycle ratio") {
+		t.Errorf("T1 report: %s", out)
+	}
+}
+
+func TestCallKernelSourceIdenticalCaller(t *testing.T) {
+	a := CallKernelParams{CallerRing: 4, ServiceRing: 4, Iterations: 10}
+	b := CallKernelParams{CallerRing: 4, ServiceRing: 1, Iterations: 10}
+	srcA := a.Source()
+	srcB := b.Source()
+	mainA := srcA[:strings.Index(srcA, ".seg    svc")]
+	mainB := srcB[:strings.Index(srcB, ".seg    svc")]
+	if mainA != mainB {
+		t.Error("caller source differs between same-ring and cross-ring variants")
+	}
+}
+
+func TestKernelRunsProduceWork(t *testing.T) {
+	p := CallKernelParams{CallerRing: 4, ServiceRing: 1, Iterations: 5}
+	cycles, steps, err := p.RunHardware(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || steps < 5*5 {
+		t.Errorf("cycles=%d steps=%d", cycles, steps)
+	}
+	swCycles, _, crossings, err := p.RunSoftware(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossings != 10 {
+		t.Errorf("crossings = %d", crossings)
+	}
+	if swCycles <= cycles {
+		t.Errorf("software cheaper than hardware: %d vs %d", swCycles, cycles)
+	}
+}
+
+func TestStraightLineKernel(t *testing.T) {
+	cyclesOn, stepsOn, err := RunStraightLine(50, optValidate(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclesOff, stepsOff, err := RunStraightLine(50, optValidate(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepsOn != stepsOff {
+		t.Errorf("step counts differ: %d vs %d", stepsOn, stepsOff)
+	}
+	if cyclesOn != cyclesOff {
+		t.Errorf("cycle counts differ: %d vs %d", cyclesOn, cyclesOff)
+	}
+}
+
+func TestChainKernelDepths(t *testing.T) {
+	cases := []struct {
+		caller int
+		chain  []int
+	}{
+		{5, []int{1}},
+		{5, []int{3, 1}},
+		{6, []int{4, 2, 0}},
+	}
+	var prev uint64
+	for _, tc := range cases {
+		chain := make([]coreRing, len(tc.chain))
+		for i, r := range tc.chain {
+			chain[i] = coreRing(r)
+		}
+		cycles, steps, err := RunChain(coreRing(tc.caller), chain, 5)
+		if err != nil {
+			t.Fatalf("chain %v: %v", tc.chain, err)
+		}
+		if steps == 0 {
+			t.Fatalf("chain %v did no work", tc.chain)
+		}
+		if cycles <= prev {
+			t.Errorf("deeper chain %v not costlier: %d <= %d", tc.chain, cycles, prev)
+		}
+		prev = cycles
+	}
+}

@@ -1,0 +1,291 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/softring"
+	"repro/internal/sup"
+)
+
+// CallKernelParams parameterizes the canonical call/return workload:
+// a caller in CallerRing invoking a gated service with an execute
+// bracket at ServiceRing, Iterations times, passing Args argument words
+// through the standard argument list convention. When ServiceRing ==
+// CallerRing the identical caller object code performs same-ring calls;
+// when ServiceRing < CallerRing, downward calls; when >, upward calls.
+type CallKernelParams struct {
+	CallerRing  core.Ring
+	ServiceRing core.Ring
+	Iterations  int
+	Args        int
+}
+
+// Source generates the kernel's assembly. The caller's code is
+// byte-identical across all ServiceRing choices — the paper's "a call
+// by a user procedure to a protected subsystem is identical to a call
+// to a companion user procedure" — only the service segment's declared
+// brackets differ.
+func (p CallKernelParams) Source() string {
+	var sb strings.Builder
+	c := p.CallerRing
+	fmt.Fprintf(&sb, `
+        .seg    main
+        .bracket %d,%d,%d
+        .access rwe
+`, c, c, c)
+	if p.Args > 0 {
+		sb.WriteString("        eap1    arglist\n")
+	}
+	fmt.Fprintf(&sb, `loop:   stic    pr6|0,+1
+        call    svc$entry
+        aos     count
+        lda     count
+        cma     limit
+        tnz     loop
+        hlt
+count:  .word   0
+limit:  .word   %d
+`, p.Iterations)
+	if p.Args > 0 {
+		sb.WriteString("arglist:\n")
+		for i := 0; i < p.Args; i++ {
+			fmt.Fprintf(&sb, "        .its    %d, arg%d\n", c, i)
+		}
+		for i := 0; i < p.Args; i++ {
+			fmt.Fprintf(&sb, "arg%d:   .word   %d\n", i, i+1)
+		}
+	}
+
+	s := p.ServiceRing
+	gateTop := core.Ring(5)
+	if s > gateTop {
+		gateTop = s
+	}
+	// The service frame comes from the stack's next-available counter
+	// (not a fixed slot) so the identical veneer is safe whether the
+	// call arrived same-ring (sharing the caller's stack segment) or
+	// cross-ring (on its own ring's stack).
+	fmt.Fprintf(&sb, `
+        .seg    svc
+        .bracket %d,%d,%d
+        .gate   entry
+entry:  eap5    *pr0|0
+        spr6    pr5|0
+`, s, s, gateTop)
+	for i := 0; i < p.Args; i++ {
+		fmt.Fprintf(&sb, "        lda     *pr1|%d\n", i)
+	}
+	sb.WriteString(`        eap6    *pr5|0
+        return  *pr6|0
+`)
+	return sb.String()
+}
+
+// BuildHardware assembles the kernel for the hardware-ring machine.
+func (p CallKernelParams) BuildHardware(opt *cpu.Options) (*image.Image, error) {
+	prog, err := asm.Assemble(p.Source())
+	if err != nil {
+		return nil, err
+	}
+	return asm.BuildImage(image.Config{CPUOptions: opt}, prog)
+}
+
+// BuildSoftware assembles the identical kernel and wraps it in the
+// 645-style software-ring machine.
+func (p CallKernelParams) BuildSoftware() (*softring.Machine, error) {
+	prog, err := asm.Assemble(p.Source())
+	if err != nil {
+		return nil, err
+	}
+	img, err := asm.BuildImage(image.Config{}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return softring.Wrap(img)
+}
+
+// RunHardware executes the kernel on the hardware machine and reports
+// total cycles and executed instructions. A supervisor is attached so
+// upward-call variants get their software mediation.
+func (p CallKernelParams) RunHardware(opt *cpu.Options) (cycles, steps uint64, err error) {
+	img, err := p.BuildHardware(opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	sup.Attach(img, "bench")
+	if err := img.Start(p.CallerRing, "main", 0); err != nil {
+		return 0, 0, err
+	}
+	limit := 200*p.Iterations + 1000
+	reason, err := img.CPU.Run(limit)
+	if err != nil {
+		return 0, 0, err
+	}
+	if reason != cpu.StopHalt {
+		return 0, 0, fmt.Errorf("exp: kernel stopped for %v", reason)
+	}
+	return img.CPU.Cycles, img.CPU.Steps(), nil
+}
+
+// RunSoftware executes the identical kernel on the software-ring
+// machine.
+func (p CallKernelParams) RunSoftware(argWords int) (cycles, steps uint64, crossings int, err error) {
+	m, err := p.BuildSoftware()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m.ArgWords = argWords
+	if err := m.Start(p.CallerRing, "main", 0); err != nil {
+		return 0, 0, 0, err
+	}
+	limit := 200*p.Iterations + 1000
+	reason, err := m.Run(limit)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("exp: software kernel: %w (audit %v)", err, m.Audit)
+	}
+	if reason != cpu.StopHalt {
+		return 0, 0, 0, fmt.Errorf("exp: software kernel stopped for %v", reason)
+	}
+	return m.CPU.Cycles, m.CPU.Steps(), m.Crossings, nil
+}
+
+// straightLineKernel is a pure computation loop with PR-relative loads
+// and stores — the T5 workload, where every operand reference is
+// validated.
+func straightLineKernel(iterations int) string {
+	return fmt.Sprintf(`
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+loop:   lda     a
+        ada     b
+        sta     a
+        lda     *ptr
+        aos     count
+        lda     count
+        cma     limit
+        tnz     loop
+        hlt
+a:      .word   1
+b:      .word   2
+ptr:    .its    4, b
+count:  .word   0
+limit:  .word   %d
+`, iterations)
+}
+
+// RunStraightLine executes the straight-line kernel with the given CPU
+// options and reports cycles and steps.
+func RunStraightLine(iterations int, opt cpu.Options) (cycles, steps uint64, err error) {
+	prog, err := asm.Assemble(straightLineKernel(iterations))
+	if err != nil {
+		return 0, 0, err
+	}
+	img, err := asm.BuildImage(image.Config{CPUOptions: &opt}, prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		return 0, 0, err
+	}
+	reason, err := img.CPU.Run(100*iterations + 1000)
+	if err != nil {
+		return 0, 0, err
+	}
+	if reason != cpu.StopHalt {
+		return 0, 0, fmt.Errorf("exp: straight-line kernel stopped for %v", reason)
+	}
+	return img.CPU.Cycles, img.CPU.Steps(), nil
+}
+
+// optValidate returns default CPU options with the validation ablation
+// switch set (test/bench convenience).
+func optValidate(on bool) cpu.Options {
+	o := cpu.DefaultOptions()
+	o.Validate = on
+	return o
+}
+
+// ChainKernelSource generates a kernel whose main loop calls down
+// through a chain of gated services, one per ring in ringChain (ordered
+// caller-first, strictly or loosely descending), each using the full
+// frame protocol, with the leaf returning a constant. It exercises
+// nested downward calls and the corresponding chain of upward returns.
+func ChainKernelSource(callerRing core.Ring, ringChain []core.Ring, iterations int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+        .seg    main
+        .bracket %d,%d,%d
+        .access rwe
+loop:   stic    pr6|0,+1
+        call    svc0$entry
+        aos     count
+        lda     count
+        cma     limit
+        tnz     loop
+        hlt
+count:  .word   0
+limit:  .word   %d
+`, callerRing, callerRing, callerRing, iterations)
+	for i, r := range ringChain {
+		leaf := i == len(ringChain)-1
+		fmt.Fprintf(&sb, `
+        .seg    svc%d
+        .bracket %d,%d,7
+        .gate   entry
+`, i, r, r)
+		if leaf {
+			sb.WriteString(`entry:  eap5    *pr0|0
+        spr6    pr5|0
+        lia     7
+        eap6    *pr5|0
+        return  *pr6|0
+`)
+			continue
+		}
+		// Interior link: full frame protocol around a further call.
+		fmt.Fprintf(&sb, `entry:  eap5    *pr0|0
+        spr6    pr5|1
+        spr0    pr5|2
+        eap4    pr5|4
+        spr4    pr0|0
+        eap6    pr5|0
+        stic    pr6|0,+1
+        call    svc%d$entry
+        eap4    *pr6|2
+        spr6    pr4|0
+        eap6    *pr6|1
+        return  *pr6|0
+`, i+1)
+	}
+	return sb.String()
+}
+
+// RunChain executes the chain kernel on the hardware machine.
+func RunChain(callerRing core.Ring, ringChain []core.Ring, iterations int) (cycles, steps uint64, err error) {
+	prog, err := asm.Assemble(ChainKernelSource(callerRing, ringChain, iterations))
+	if err != nil {
+		return 0, 0, err
+	}
+	img, err := asm.BuildImage(image.Config{}, prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	sup.Attach(img, "bench")
+	if err := img.Start(callerRing, "main", 0); err != nil {
+		return 0, 0, err
+	}
+	reason, err := img.CPU.Run(2000*iterations + 1000)
+	if err != nil {
+		return 0, 0, err
+	}
+	if reason != cpu.StopHalt {
+		return 0, 0, fmt.Errorf("exp: chain kernel stopped for %v", reason)
+	}
+	return img.CPU.Cycles, img.CPU.Steps(), nil
+}

@@ -1,0 +1,159 @@
+// Package figures renders the paper's descriptive figures as text: the
+// access-indicator diagrams of Figures 1 and 2 and the storage formats
+// of Figure 3. The ringfig command prints them; the experiment harness
+// embeds them in its reports.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Figure1View is the example SDW of the paper's Figure 1: a writable
+// data segment with write bracket [0,4] and read bracket [0,5].
+func Figure1View() core.SDWView {
+	return core.SDWView{
+		Present: true,
+		Read:    true, Write: true, Execute: false,
+		Brackets: core.Brackets{R1: 4, R2: 5, R3: 5},
+		Bound:    1024,
+	}
+}
+
+// Figure2View is the example SDW of the paper's Figure 2: a pure
+// procedure segment with execute bracket [3,3], gate extension (3,5],
+// and two gate locations.
+func Figure2View() core.SDWView {
+	return core.SDWView{
+		Present: true,
+		Read:    true, Write: false, Execute: true,
+		Brackets:  core.Brackets{R1: 3, R2: 3, R3: 5},
+		GateCount: 2,
+		Bound:     512,
+	}
+}
+
+// rowFor renders one access row: a # for each ring where the predicate
+// holds.
+func rowFor(label string, pred func(core.Ring) bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  %-16s", label)
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		if pred(r) {
+			sb.WriteString("  # ")
+		} else {
+			sb.WriteString("  . ")
+		}
+	}
+	return sb.String()
+}
+
+// AccessDiagram renders the per-ring access capabilities of an SDW view
+// in the style of the paper's Figures 1 and 2.
+func AccessDiagram(title string, v core.SDWView) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	sb.WriteString("  ring          ")
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		fmt.Fprintf(&sb, "  %d ", r)
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(rowFor("write", func(r core.Ring) bool { return v.Permits(core.AccessWrite, r) }))
+	sb.WriteByte('\n')
+	sb.WriteString(rowFor("read", func(r core.Ring) bool { return v.Permits(core.AccessRead, r) }))
+	sb.WriteByte('\n')
+	sb.WriteString(rowFor("execute", func(r core.Ring) bool { return v.Permits(core.AccessExecute, r) }))
+	sb.WriteByte('\n')
+	sb.WriteString(rowFor("call via gate", func(r core.Ring) bool {
+		return v.Execute && v.GateCount > 0 && v.Brackets.InGateExtension(r)
+	}))
+	sb.WriteByte('\n')
+	flag := func(b bool, c string) string {
+		if b {
+			return c
+		}
+		return "-"
+	}
+	fmt.Fprintf(&sb, "  flags %s%s%s   R1=%d R2=%d R3=%d gates=%d\n",
+		flag(v.Read, "r"), flag(v.Write, "w"), flag(v.Execute, "e"),
+		v.Brackets.R1, v.Brackets.R2, v.Brackets.R3, v.GateCount)
+	return sb.String()
+}
+
+// Figure1 renders the paper's Figure 1.
+func Figure1() string {
+	return AccessDiagram("Figure 1. Access indicators for a writable data segment.", Figure1View())
+}
+
+// Figure2 renders the paper's Figure 2.
+func Figure2() string {
+	return AccessDiagram("Figure 2. Access indicators for a pure procedure segment with gates.", Figure2View())
+}
+
+// field describes one storage-format field for Figure 3.
+type field struct {
+	name  string
+	lo    uint
+	width uint
+	desc  string
+}
+
+func formatTable(title string, fields []field) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "  %-8s %-7s %s\n", "field", "bits", "meaning")
+	for _, f := range fields {
+		bits := fmt.Sprintf("%d-%d", f.lo+f.width-1, f.lo)
+		if f.width == 1 {
+			bits = fmt.Sprintf("%d", f.lo)
+		}
+		fmt.Fprintf(&sb, "  %-8s %-7s %s\n", f.name, bits, f.desc)
+	}
+	return sb.String()
+}
+
+// Figure3 renders the storage formats and registers of the paper's
+// Figure 3, as implemented by this simulator.
+func Figure3() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3. Storage formats and processor registers.\n\n")
+	sb.WriteString(formatTable("SDW even word:", []field{
+		{"F", 35, 1, "segment present"},
+		{"R1", 32, 3, "top of write bracket / bottom of execute bracket"},
+		{"R2", 29, 3, "top of execute and read brackets"},
+		{"R3", 26, 3, "top of gate extension"},
+		{"ADDR", 0, 24, "absolute core address of segment base"},
+	}))
+	sb.WriteByte('\n')
+	sb.WriteString(formatTable("SDW odd word:", []field{
+		{"R", 35, 1, "read flag"},
+		{"W", 34, 1, "write flag"},
+		{"E", 33, 1, "execute flag"},
+		{"GATE", 18, 14, "number of gate locations (words 0..GATE-1)"},
+		{"BOUND", 0, 18, "segment length in words"},
+	}))
+	sb.WriteByte('\n')
+	sb.WriteString(formatTable("Instruction word (INS):", []field{
+		{"OPCODE", 27, 9, "operation code"},
+		{"I", 26, 1, "indirect flag"},
+		{"P", 25, 1, "pointer-register-relative flag"},
+		{"PRNUM", 22, 3, "pointer register number"},
+		{"TAG", 18, 4, "index register modification / register selector"},
+		{"OFFSET", 0, 18, "operand offset"},
+	}))
+	sb.WriteByte('\n')
+	sb.WriteString(formatTable("Indirect word (IND):", []field{
+		{"RING", 33, 3, "validation ring number"},
+		{"I", 32, 1, "further indirection flag"},
+		{"SEGNO", 18, 14, "segment number"},
+		{"WORDNO", 0, 18, "word number"},
+	}))
+	sb.WriteByte('\n')
+	sb.WriteString("Registers: DBR (descriptor base: ADDR, BOUND, STACK),\n")
+	sb.WriteString("IPR (ring of execution + two-part address of next instruction),\n")
+	sb.WriteString("PR0-PR7 (ring + two-part address; loadable only by EAP),\n")
+	sb.WriteString("TPR (internal: effective address and effective ring).\n")
+	return sb.String()
+}

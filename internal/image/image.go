@@ -1,0 +1,313 @@
+// Package image builds runnable machine images: it places segments in
+// core, constructs the descriptor segment from their access brackets,
+// creates the per-ring stack segments, and hands back a configured CPU.
+//
+// This is the job the Multics supervisor's segment control performed
+// when a process was created; here it happens at image-build time for a
+// single process, and the supervisor package performs the incremental
+// equivalent ("initiate segment") at run time.
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/seg"
+	"repro/internal/word"
+)
+
+// SegmentDef describes one segment to place in the image.
+type SegmentDef struct {
+	Name  string
+	Words []word.Word // initial contents
+	// Size is the segment length in words; if zero, len(Words) is used.
+	Size                 int
+	Read, Write, Execute bool
+	Brackets             core.Brackets
+	Gates                uint32
+}
+
+// Config controls image construction.
+type Config struct {
+	// MemWords is the core size; default 1<<20. Ignored when Backing
+	// is set.
+	MemWords int
+	// Backing, if non-nil, is the physical storage to build into (e.g.
+	// a demand-paged space from internal/paging); MemWords is then
+	// taken from its Size.
+	Backing mem.Store
+	// MaxSegments bounds the descriptor segment; default 256.
+	MaxSegments int
+	// StackSize is the length of each per-ring stack segment; default 1024.
+	StackSize int
+	// StackRule selects stack segment numbering; the image builder
+	// places the stacks where the rule expects them.
+	StackRule cpu.StackRule
+	// StackBase is the first stack segment number under StackDBRBase;
+	// default 16. Ignored under StackSegnoIsRing (stacks are 0-7).
+	StackBase uint32
+	// CPUOptions configures the processor; zero value means
+	// cpu.DefaultOptions with StackRule applied.
+	CPUOptions *cpu.Options
+}
+
+// Image is a built machine: the CPU, its memory, and the name-to-segment
+// mapping for the placed segments.
+type Image struct {
+	CPU    *cpu.CPU
+	Mem    mem.Store
+	Alloc  *mem.Allocator
+	Segnos map[string]uint32
+
+	nextSegno uint32
+	maxSegno  uint32
+}
+
+// StackFrameStart is the word number of the first available stack area.
+// Word 0 of each stack segment holds the next-available pointer — by
+// the convention of this codebase, an indirect word aimed at the next
+// free frame within the same stack segment, so a procedure allocates a
+// frame with `eap5 *pr0|0` and pushes/pops by rewriting word 0 with
+// SPR. (The paper says only "a fixed word of each stack segment can
+// point to the beginning of the next available stack area"; making that
+// word an indirect word lets the standard instruction set manipulate it
+// without dedicated stack instructions.)
+const StackFrameStart = 1
+
+// FrameSize is the conventional stack frame size: slot 0 for the saved
+// return point (stic), slot 1 for the saved caller stack pointer (spr),
+// two spare words.
+const FrameSize = 4
+
+// stackName returns the conventional name of the ring-r stack segment.
+func stackName(r core.Ring) string { return fmt.Sprintf("stack_%d", r) }
+
+// StackSegmentName returns the name under which the ring-r stack
+// segment is registered in the image.
+func StackSegmentName(r core.Ring) string { return stackName(r) }
+
+// Build constructs the image: descriptor segment, stacks, then the given
+// segments in order.
+func Build(cfg Config, defs []SegmentDef) (*Image, error) {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 20
+	}
+	if cfg.MaxSegments == 0 {
+		cfg.MaxSegments = 256
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 1024
+	}
+	if cfg.StackBase == 0 {
+		cfg.StackBase = 16
+	}
+
+	var m mem.Store
+	if cfg.Backing != nil {
+		m = cfg.Backing
+		cfg.MemWords = m.Size()
+	} else {
+		m = mem.New(cfg.MemWords)
+	}
+	// Reserve low core for the descriptor segment.
+	descWords := 2 * cfg.MaxSegments
+	alloc := mem.NewAllocator(cfg.MemWords, descWords)
+
+	opt := cpu.DefaultOptions()
+	if cfg.CPUOptions != nil {
+		opt = *cfg.CPUOptions
+	}
+	opt.StackRule = cfg.StackRule
+
+	c := cpu.New(m, opt)
+	c.DBR = seg.DBR{Addr: 0, Bound: uint32(cfg.MaxSegments)}
+
+	img := &Image{
+		CPU:      c,
+		Mem:      m,
+		Alloc:    alloc,
+		Segnos:   make(map[string]uint32),
+		maxSegno: uint32(cfg.MaxSegments) - 1,
+	}
+
+	// Place the per-ring stacks where the stack rule will look for
+	// them, and start general allocation after them.
+	var stackBase uint32
+	switch cfg.StackRule {
+	case cpu.StackSegnoIsRing:
+		stackBase = 0
+		img.nextSegno = core.NumRings
+	case cpu.StackDBRBase:
+		stackBase = cfg.StackBase
+		c.DBR.Stack = stackBase
+		img.nextSegno = stackBase + core.NumRings
+	default:
+		return nil, fmt.Errorf("image: unknown stack rule %d", cfg.StackRule)
+	}
+
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		segno := stackBase + uint32(r)
+		// "The stack segment for procedures executing in ring n has
+		// read and write brackets that end at ring n."
+		def := SegmentDef{
+			Name: stackName(r),
+			Size: cfg.StackSize,
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: r, R2: r, R3: r},
+		}
+		if err := img.placeAt(segno, def); err != nil {
+			return nil, err
+		}
+		// Word 0: next available stack area, as an indirect word aimed
+		// at this stack segment.
+		sdw, err := img.SDW(segno)
+		if err != nil {
+			return nil, err
+		}
+		counter := isa.Indirect{Ring: r, Segno: segno, Wordno: StackFrameStart}
+		if err := m.Write(seg.Translate(sdw, 0), counter.Encode()); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, def := range defs {
+		if _, err := img.Add(def); err != nil {
+			return nil, err
+		}
+	}
+	return img, nil
+}
+
+// Add places a segment at the next free segment number and returns the
+// number.
+func (img *Image) Add(def SegmentDef) (uint32, error) {
+	segno := img.nextSegno
+	if segno > img.maxSegno {
+		return 0, fmt.Errorf("image: descriptor segment full adding %q", def.Name)
+	}
+	img.nextSegno++
+	if err := img.placeAt(segno, def); err != nil {
+		return 0, err
+	}
+	return segno, nil
+}
+
+// placeAt allocates core for def, copies its initial contents, and
+// stores its SDW at segno.
+func (img *Image) placeAt(segno uint32, def SegmentDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("image: segment with empty name")
+	}
+	if _, dup := img.Segnos[def.Name]; dup {
+		return fmt.Errorf("image: duplicate segment name %q", def.Name)
+	}
+	size := def.Size
+	if size == 0 {
+		size = len(def.Words)
+	}
+	if size < len(def.Words) {
+		return fmt.Errorf("image: segment %q size %d smaller than contents %d", def.Name, size, len(def.Words))
+	}
+	if size == 0 {
+		return fmt.Errorf("image: segment %q has zero size", def.Name)
+	}
+	base, err := img.Alloc.Alloc(size)
+	if err != nil {
+		return fmt.Errorf("image: placing %q: %w", def.Name, err)
+	}
+	if err := mem.WriteRange(img.Mem, base, def.Words); err != nil {
+		return err
+	}
+	sdw := seg.SDW{
+		Present:  true,
+		Addr:     uint32(base),
+		Bound:    uint32(size),
+		Read:     def.Read,
+		Write:    def.Write,
+		Execute:  def.Execute,
+		Brackets: def.Brackets,
+		Gate:     def.Gates,
+	}
+	if err := img.CPU.Table().Store(segno, sdw); err != nil {
+		return fmt.Errorf("image: segment %q: %w", def.Name, err)
+	}
+	img.Segnos[def.Name] = segno
+	return nil
+}
+
+// Segno returns the segment number of a named segment.
+func (img *Image) Segno(name string) (uint32, error) {
+	n, ok := img.Segnos[name]
+	if !ok {
+		return 0, fmt.Errorf("image: no segment %q", name)
+	}
+	return n, nil
+}
+
+// SDW fetches the descriptor of segno.
+func (img *Image) SDW(segno uint32) (seg.SDW, error) {
+	return img.CPU.Table().Fetch(segno)
+}
+
+// ReadWord reads a word from a named segment (test/debug convenience;
+// bypasses ring validation the way an operator's console would).
+func (img *Image) ReadWord(name string, wordno uint32) (word.Word, error) {
+	segno, err := img.Segno(name)
+	if err != nil {
+		return 0, err
+	}
+	sdw, err := img.SDW(segno)
+	if err != nil {
+		return 0, err
+	}
+	if !sdw.Present || wordno >= sdw.Bound {
+		return 0, fmt.Errorf("image: read outside %q", name)
+	}
+	return img.Mem.Read(seg.Translate(sdw, wordno))
+}
+
+// WriteWord writes a word into a named segment (console poke).
+func (img *Image) WriteWord(name string, wordno uint32, w word.Word) error {
+	segno, err := img.Segno(name)
+	if err != nil {
+		return err
+	}
+	sdw, err := img.SDW(segno)
+	if err != nil {
+		return err
+	}
+	if !sdw.Present || wordno >= sdw.Bound {
+		return fmt.Errorf("image: write outside %q", name)
+	}
+	return img.Mem.Write(seg.Translate(sdw, wordno), w)
+}
+
+// Start sets the processor's instruction pointer: ring, segment (by
+// name) and word number, initializes the stack pointer register to the
+// ring's stack base, and re-arms a halted machine.
+func (img *Image) Start(ring core.Ring, segName string, wordno uint32) error {
+	segno, err := img.Segno(segName)
+	if err != nil {
+		return err
+	}
+	img.CPU.Halted = false
+	img.CPU.IPR = cpu.Pointer{Ring: ring, Segno: segno, Wordno: wordno}
+	stackSeg, err := img.Segno(StackSegmentName(ring))
+	if err != nil {
+		return err
+	}
+	img.CPU.PR[cpu.StackPtrPR] = cpu.Pointer{Ring: ring, Segno: stackSeg, Wordno: StackFrameStart}
+	img.CPU.PR[cpu.StackBasePR] = cpu.Pointer{Ring: ring, Segno: stackSeg, Wordno: 0}
+	// Reserve the initial frame: the stack's next-available counter
+	// skips past it so that same-ring callees allocating through the
+	// counter cannot collide with the caller's frame.
+	counter := isa.Indirect{Ring: ring, Segno: stackSeg, Wordno: StackFrameStart + FrameSize}
+	sdw, err := img.SDW(stackSeg)
+	if err != nil {
+		return err
+	}
+	return img.Mem.Write(seg.Translate(sdw, 0), counter.Encode())
+}

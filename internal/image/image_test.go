@@ -1,0 +1,189 @@
+package image_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+func simpleDef(name string) image.SegmentDef {
+	return image.SegmentDef{
+		Name: name, Size: 8, Read: true, Write: true,
+		Brackets: core.Brackets{R1: 4, R2: 5, R3: 5},
+	}
+}
+
+func TestBuildCreatesStacks(t *testing.T) {
+	img, err := image.Build(image.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		segno, err := img.Segno(image.StackSegmentName(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segno != uint32(r) {
+			t.Errorf("stack %d at segno %d", r, segno)
+		}
+		sdw, err := img.SDW(segno)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sdw.Present || !sdw.Read || !sdw.Write || sdw.Execute {
+			t.Errorf("stack %d flags: %v", r, sdw)
+		}
+		if sdw.Brackets != (core.Brackets{R1: r, R2: r, R3: r}) {
+			t.Errorf("stack %d brackets: %v", r, sdw.Brackets)
+		}
+		// Word 0: next-available counter, an indirect word at
+		// StackFrameStart within the same segment.
+		w, err := img.ReadWord(image.StackSegmentName(r), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ind := isa.DecodeIndirect(w)
+		if ind.Segno != segno || ind.Wordno != image.StackFrameStart || ind.Ring != r {
+			t.Errorf("stack %d counter: %+v", r, ind)
+		}
+	}
+}
+
+func TestBuildStackRuleDBRBase(t *testing.T) {
+	img, err := image.Build(image.Config{StackRule: cpu.StackDBRBase, StackBase: 24}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.CPU.DBR.Stack != 24 {
+		t.Errorf("DBR.Stack = %d", img.CPU.DBR.Stack)
+	}
+	segno, err := img.Segno(image.StackSegmentName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segno != 27 {
+		t.Errorf("ring-3 stack at %d, want 27", segno)
+	}
+}
+
+func TestAddAndReadWrite(t *testing.T) {
+	img, err := image.Build(image.Config{}, []image.SegmentDef{simpleDef("data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WriteWord("data", 3, word.FromInt(99)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := img.ReadWord("data", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int64() != 99 {
+		t.Errorf("read back %d", w.Int64())
+	}
+	if _, err := img.ReadWord("data", 100); err == nil {
+		t.Error("out-of-bound read accepted")
+	}
+	if err := img.WriteWord("data", 100, 0); err == nil {
+		t.Error("out-of-bound write accepted")
+	}
+	if _, err := img.ReadWord("ghost", 0); err == nil {
+		t.Error("ghost segment read accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		defs []image.SegmentDef
+		sub  string
+	}{
+		{"duplicate", []image.SegmentDef{simpleDef("x"), simpleDef("x")}, "duplicate"},
+		{"empty name", []image.SegmentDef{{Size: 4}}, "empty name"},
+		{"zero size", []image.SegmentDef{{Name: "z"}}, "zero size"},
+		{"size < contents", []image.SegmentDef{{
+			Name: "w", Size: 1, Words: []word.Word{1, 2, 3},
+		}}, "smaller than contents"},
+		{"bad brackets", []image.SegmentDef{{
+			Name: "b", Size: 4, Brackets: core.Brackets{R1: 5, R2: 2, R3: 7},
+		}}, "brackets"},
+	}
+	for _, tc := range cases {
+		_, err := image.Build(image.Config{}, tc.defs)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.sub) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.sub)
+		}
+	}
+}
+
+func TestDescriptorFull(t *testing.T) {
+	img, err := image.Build(image.Config{MaxSegments: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacks take 0-7; two more fit (8, 9), the third overflows.
+	if _, err := img.Add(simpleDef("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Add(simpleDef("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Add(simpleDef("c")); err == nil {
+		t.Error("descriptor overflow not detected")
+	}
+}
+
+func TestStartInitializesRegisters(t *testing.T) {
+	img, err := image.Build(image.Config{}, []image.SegmentDef{
+		{
+			Name: "code", Words: []word.Word{isa.Instruction{Op: isa.HLT}.Encode()},
+			Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 3, R2: 3, R3: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.Halted = true // Start must re-arm
+	if err := img.Start(3, "code", 0); err != nil {
+		t.Fatal(err)
+	}
+	c := img.CPU
+	if c.Halted {
+		t.Error("machine still halted")
+	}
+	if c.IPR.Ring != 3 || c.IPR.Wordno != 0 {
+		t.Errorf("IPR: %v", c.IPR)
+	}
+	if c.PR[cpu.StackPtrPR].Segno != 3 || c.PR[cpu.StackPtrPR].Wordno != image.StackFrameStart {
+		t.Errorf("PR6: %v", c.PR[cpu.StackPtrPR])
+	}
+	if c.PR[cpu.StackBasePR].Wordno != 0 {
+		t.Errorf("PR0: %v", c.PR[cpu.StackBasePR])
+	}
+	// The counter reserved the initial frame.
+	w, _ := img.ReadWord(image.StackSegmentName(3), 0)
+	ind := isa.DecodeIndirect(w)
+	if ind.Wordno != image.StackFrameStart+image.FrameSize {
+		t.Errorf("counter: %+v", ind)
+	}
+}
+
+func TestStartUnknownSegment(t *testing.T) {
+	img, err := image.Build(image.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "nowhere", 0); err == nil {
+		t.Error("start in unknown segment accepted")
+	}
+}

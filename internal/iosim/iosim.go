@@ -1,0 +1,230 @@
+// Package iosim models the I/O channel hardware behind the privileged
+// SIO instruction — the paper names "the instructions to ... start I/O"
+// among those that must execute only in ring 0, and its conclusion uses
+// the Multics typewriter I/O package as the example of code that rings
+// should split: "only the functions of copying data in and out of
+// shared buffer areas and of executing the privileged instruction to
+// initiate I/O channel operation need to be protected."
+//
+// The channel reads an I/O control block (IOCB) from memory:
+//
+//	word 0:  bits 35-33 operation (1 = write, 2 = read)
+//	         bits 31-24 device number
+//	         bits 17-0  word count
+//	word 1:  an indirect word addressing the buffer
+//
+// Transfers complete synchronously (the simulator has no concurrent
+// channel controller; completion interrupts are out of scope and noted
+// in DESIGN.md). Characters are packed four 9-bit characters per
+// 36-bit word, high character first, NUL-padded — the Multics
+// convention.
+package iosim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/seg"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// Operation codes in IOCB word 0.
+const (
+	OpWrite = 1
+	OpRead  = 2
+)
+
+// CycPerWord is the simulated channel cost per word transferred.
+const CycPerWord = 4
+
+// Device is one attachable I/O device.
+type Device interface {
+	// Name identifies the device in errors and logs.
+	Name() string
+	// WriteWords receives an output transfer.
+	WriteWords(data []word.Word) error
+	// ReadWords produces up to n words of input.
+	ReadWords(n int) ([]word.Word, error)
+}
+
+// Controller is the I/O channel: it implements cpu.IODevice and routes
+// IOCBs to attached devices.
+type Controller struct {
+	devices map[uint32]Device
+	// Log records each transfer for inspection.
+	Log []string
+	// CompletionDelay, when positive, makes transfers asynchronous: SIO
+	// returns immediately and the transfer completes (device action plus
+	// an IOCompletion interrupt, Detail = device number) after that many
+	// further instructions — the paper's "I/O completions" trap source.
+	CompletionDelay int
+}
+
+var _ cpu.IODevice = (*Controller)(nil)
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{devices: map[uint32]Device{}}
+}
+
+// Attach connects a device at the given device number.
+func (ctl *Controller) Attach(devno uint32, d Device) {
+	ctl.devices[devno] = d
+}
+
+// StartIO performs the transfer described by the IOCB at
+// (iocbSeg|iocbWord). Errors are channel faults — on real hardware a
+// status word; here they stop the simulation loudly, since supervisor
+// code constructs every IOCB.
+func (ctl *Controller) StartIO(c *cpu.CPU, iocbSeg, iocbWord uint32) error {
+	read := func(wordno uint32) (word.Word, error) {
+		tbl := seg.Table{Mem: c.Mem, DBR: c.DBR}
+		sdw, err := tbl.Fetch(iocbSeg)
+		if err != nil {
+			return 0, err
+		}
+		if !sdw.Present || wordno >= sdw.Bound {
+			return 0, fmt.Errorf("iosim: IOCB outside segment %o", iocbSeg)
+		}
+		return c.Mem.Read(seg.Translate(sdw, wordno))
+	}
+	w0, err := read(iocbWord)
+	if err != nil {
+		return err
+	}
+	w1, err := read(iocbWord + 1)
+	if err != nil {
+		return err
+	}
+	op := uint32(w0.Field(33, 3))
+	devno := uint32(w0.Field(24, 8))
+	count := uint32(w0.Field(0, 18))
+	bufSeg := uint32(w1.Field(18, 14))
+	bufWord := uint32(w1.Field(0, 18))
+
+	dev, ok := ctl.devices[devno]
+	if !ok {
+		return fmt.Errorf("iosim: no device %d", devno)
+	}
+	tbl := seg.Table{Mem: c.Mem, DBR: c.DBR}
+	sdw, err := tbl.Fetch(bufSeg)
+	if err != nil {
+		return err
+	}
+	if !sdw.Present || bufWord+count > sdw.Bound {
+		return fmt.Errorf("iosim: buffer outside segment %o", bufSeg)
+	}
+	base := seg.Translate(sdw, bufWord)
+	c.AddCycles(uint64(count) * CycPerWord)
+
+	if ctl.CompletionDelay > 0 {
+		// Asynchronous channel: perform the transfer at completion time
+		// (the channel reads core while the processor runs on) and
+		// deliver an I/O completion interrupt.
+		ctl.Log = append(ctl.Log, fmt.Sprintf("start %s on %s (%d words, async)",
+			opName(op), dev.Name(), count))
+		c.PostInterrupt(cpu.Interrupt{
+			After:  uint64(ctl.CompletionDelay),
+			Code:   trap.IOCompletion,
+			Detail: devno,
+			Fire: func(c *cpu.CPU) error {
+				err := ctl.transfer(c, dev, op, base, int(count))
+				if err == nil {
+					ctl.Log = append(ctl.Log, fmt.Sprintf("complete %s on %s",
+						opName(op), dev.Name()))
+				}
+				return err
+			},
+		})
+		return nil
+	}
+
+	if err := ctl.transfer(c, dev, op, base, int(count)); err != nil {
+		return err
+	}
+	ctl.Log = append(ctl.Log, fmt.Sprintf("%s %d words %s %s", opName(op), count,
+		map[uint32]string{OpWrite: "to", OpRead: "from"}[op], dev.Name()))
+	return nil
+}
+
+func opName(op uint32) string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// transfer moves the words for one IOCB between core and the device.
+func (ctl *Controller) transfer(c *cpu.CPU, dev Device, op uint32, base, count int) error {
+	switch op {
+	case OpWrite:
+		data, err := mem.ReadRange(c.Mem, base, count)
+		if err != nil {
+			return err
+		}
+		return dev.WriteWords(data)
+	case OpRead:
+		data, err := dev.ReadWords(count)
+		if err != nil {
+			return err
+		}
+		return mem.WriteRange(c.Mem, base, data)
+	default:
+		return fmt.Errorf("iosim: bad IOCB operation %d", op)
+	}
+}
+
+// MakeIOCB builds the two IOCB words.
+func MakeIOCB(op, devno, count uint32, bufSeg, bufWord uint32) (word.Word, word.Word) {
+	w0 := word.Word(0).
+		Deposit(33, 3, uint64(op)).
+		Deposit(24, 8, uint64(devno)).
+		Deposit(0, 18, uint64(count))
+	w1 := word.Word(0).
+		Deposit(18, 14, uint64(bufSeg)).
+		Deposit(0, 18, uint64(bufWord))
+	return w0, w1
+}
+
+// PackChars packs text into 36-bit words, four 9-bit characters per
+// word, NUL padded (delegates to the word package's convention).
+func PackChars(s string) []word.Word { return word.PackChars(s) }
+
+// UnpackChars reverses PackChars, dropping NULs.
+func UnpackChars(words []word.Word) string { return word.UnpackChars(words) }
+
+// Typewriter is the console device of the paper's conclusion example.
+type Typewriter struct {
+	// Printed accumulates everything written to the device.
+	Printed strings.Builder
+	// Input supplies ReadWords; keyboard input, pre-loaded by tests.
+	Input []word.Word
+}
+
+var _ Device = (*Typewriter)(nil)
+
+// Name implements Device.
+func (t *Typewriter) Name() string { return "typewriter" }
+
+// WriteWords implements Device: unpack and print.
+func (t *Typewriter) WriteWords(data []word.Word) error {
+	t.Printed.WriteString(UnpackChars(data))
+	return nil
+}
+
+// ReadWords implements Device: consume pre-loaded input.
+func (t *Typewriter) ReadWords(n int) ([]word.Word, error) {
+	if n > len(t.Input) {
+		n = len(t.Input)
+	}
+	out := t.Input[:n]
+	t.Input = t.Input[n:]
+	return out, nil
+}

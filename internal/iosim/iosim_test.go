@@ -1,0 +1,289 @@
+package iosim_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/iosim"
+	"repro/internal/isa"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "abcd", "hello, multics!", "exactly8"} {
+		if got := iosim.UnpackChars(iosim.PackChars(s)); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(raw []byte) bool {
+		// NULs are padding; strip them from the expectation.
+		s := strings.ReplaceAll(string(raw), "\x00", "")
+		// Bytes above 255 impossible; all byte values survive 9-bit
+		// fields.
+		return iosim.UnpackChars(iosim.PackChars(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeIOCBFields(t *testing.T) {
+	w0, w1 := iosim.MakeIOCB(iosim.OpWrite, 3, 0o177, 0o12, 0o456)
+	if w0.Field(33, 3) != iosim.OpWrite || w0.Field(24, 8) != 3 || w0.Field(0, 18) != 0o177 {
+		t.Errorf("w0: %v", w0)
+	}
+	if w1.Field(18, 14) != 0o12 || w1.Field(0, 18) != 0o456 {
+		t.Errorf("w1: %v", w1)
+	}
+}
+
+// buildIOImage builds a ring-0 program that issues one SIO on a
+// prepared IOCB.
+func buildIOImage(t *testing.T, iocb0, iocb1 word.Word, buffer []word.Word) *image.Image {
+	t.Helper()
+	code := []word.Word{
+		isa.Instruction{Op: isa.SIO, Offset: 3}.Encode(), // sio iocb (word 3)
+		isa.Instruction{Op: isa.HLT}.Encode(),
+		0,
+		iocb0, // word 3
+		iocb1, // word 4
+	}
+	img, err := image.Build(image.Config{}, []image.SegmentDef{
+		{
+			Name: "driver", Words: code, Size: 16,
+			Read: true, Write: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+		{
+			Name: "buffer", Words: buffer, Size: 32,
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestTypewriterWrite(t *testing.T) {
+	text := iosim.PackChars("hello")
+	var img *image.Image
+	// IOCB references the buffer segment; build once to learn segnos.
+	img = buildIOImage(t, 0, 0, text)
+	bufSeg, _ := img.Segno("buffer")
+	w0, w1 := iosim.MakeIOCB(iosim.OpWrite, 1, uint32(len(text)), bufSeg, 0)
+	img = buildIOImage(t, w0, w1, text)
+
+	ctl := iosim.NewController()
+	tty := &iosim.Typewriter{}
+	ctl.Attach(1, tty)
+	img.CPU.IO = ctl
+	// The IOCB word offset moved: driver word 3 holds w0 now.
+	if err := img.Start(0, "driver", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := tty.Printed.String(); got != "hello" {
+		t.Errorf("printed %q", got)
+	}
+	if len(ctl.Log) != 1 || !strings.Contains(ctl.Log[0], "write 2 words") {
+		t.Errorf("log: %v", ctl.Log)
+	}
+}
+
+func TestTypewriterRead(t *testing.T) {
+	input := iosim.PackChars("keys")
+	img := buildIOImage(t, 0, 0, make([]word.Word, 4))
+	bufSeg, _ := img.Segno("buffer")
+	w0, w1 := iosim.MakeIOCB(iosim.OpRead, 1, 1, bufSeg, 0)
+	img = buildIOImage(t, w0, w1, make([]word.Word, 4))
+
+	ctl := iosim.NewController()
+	tty := &iosim.Typewriter{Input: input}
+	ctl.Attach(1, tty)
+	img.CPU.IO = ctl
+	if err := img.Start(0, "driver", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	w, err := img.ReadWord("buffer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := iosim.UnpackChars([]word.Word{w}); got != "keys" {
+		t.Errorf("buffer: %q", got)
+	}
+}
+
+func TestSIOOutsideRing0Denied(t *testing.T) {
+	// The protection point: SIO from ring 4 must trap, so the only way
+	// user code starts I/O is through a ring-0 gate.
+	img, err := image.Build(image.Config{}, []image.SegmentDef{
+		{
+			Name: "user", Words: []word.Word{
+				isa.Instruction{Op: isa.SIO, Offset: 1}.Encode(),
+				isa.Instruction{Op: isa.HLT}.Encode(),
+			},
+			Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 4, R3: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.CPU.IO = iosim.NewController()
+	if err := img.Start(4, "user", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err == nil {
+		t.Fatal("SIO executed outside ring 0")
+	}
+}
+
+func TestControllerErrors(t *testing.T) {
+	// Unknown device.
+	text := iosim.PackChars("x")
+	img := buildIOImage(t, 0, 0, text)
+	bufSeg, _ := img.Segno("buffer")
+	w0, w1 := iosim.MakeIOCB(iosim.OpWrite, 9, 1, bufSeg, 0)
+	img = buildIOImage(t, w0, w1, text)
+	img.CPU.IO = iosim.NewController()
+	if err := img.Start(0, "driver", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err == nil || !strings.Contains(err.Error(), "no device") {
+		t.Errorf("err = %v", err)
+	}
+
+	// Buffer past the segment bound.
+	w0, w1 = iosim.MakeIOCB(iosim.OpWrite, 1, 1000, bufSeg, 0)
+	img = buildIOImage(t, w0, w1, text)
+	ctl := iosim.NewController()
+	ctl.Attach(1, &iosim.Typewriter{})
+	img.CPU.IO = ctl
+	if err := img.Start(0, "driver", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err == nil || !strings.Contains(err.Error(), "buffer outside") {
+		t.Errorf("err = %v", err)
+	}
+
+	// Bad operation code.
+	w0, w1 = iosim.MakeIOCB(7, 1, 1, bufSeg, 0)
+	img = buildIOImage(t, w0, w1, text)
+	ctl = iosim.NewController()
+	ctl.Attach(1, &iosim.Typewriter{})
+	img.CPU.IO = ctl
+	if err := img.Start(0, "driver", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err == nil || !strings.Contains(err.Error(), "bad IOCB") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestAsyncCompletionInterrupt exercises the paper's "I/O completions"
+// trap source: SIO returns immediately, the program keeps computing,
+// and the transfer lands with an IOCompletion interrupt some
+// instructions later.
+func TestAsyncCompletionInterrupt(t *testing.T) {
+	text := iosim.PackChars("async")
+	img := buildIOImage(t, 0, 0, text)
+	bufSeg, _ := img.Segno("buffer")
+	w0, w1 := iosim.MakeIOCB(iosim.OpWrite, 1, uint32(len(text)), bufSeg, 0)
+	// Driver: sio, then three NOPs, then HLT; completion after 2
+	// instructions lands before the halt.
+	code := []word.Word{
+		isa.Instruction{Op: isa.SIO, Offset: 6}.Encode(),
+		isa.Instruction{Op: isa.NOP}.Encode(),
+		isa.Instruction{Op: isa.NOP}.Encode(),
+		isa.Instruction{Op: isa.NOP}.Encode(),
+		isa.Instruction{Op: isa.HLT}.Encode(),
+		0,
+		w0, // word 6
+		w1,
+	}
+	img2, err := image.Build(image.Config{}, []image.SegmentDef{
+		{
+			Name: "driver", Words: code, Size: 16,
+			Read: true, Write: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+		{
+			Name: "buffer", Words: text, Size: 32,
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild IOCB against img2's segnos.
+	bufSeg2, _ := img2.Segno("buffer")
+	w0, w1 = iosim.MakeIOCB(iosim.OpWrite, 1, uint32(len(text)), bufSeg2, 0)
+	if err := img2.WriteWord("driver", 6, w0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img2.WriteWord("driver", 7, w1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := iosim.NewController()
+	ctl.CompletionDelay = 2
+	tty := &iosim.Typewriter{}
+	ctl.Attach(1, tty)
+	c := img2.CPU
+	c.IO = ctl
+	var completions int
+	c.Handler = cpu.TrapHandlerFunc(func(c *cpu.CPU, tr *trap.Trap) cpu.TrapAction {
+		if tr.Code != trap.IOCompletion || tr.Service != 1 {
+			return cpu.TrapHalt
+		}
+		completions++
+		if err := c.RestoreSaved(); err != nil {
+			return cpu.TrapHalt
+		}
+		return cpu.TrapResume
+	})
+	if err := img2.Start(0, "driver", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if completions != 1 {
+		t.Errorf("completions = %d", completions)
+	}
+	if got := tty.Printed.String(); got != "async" {
+		t.Errorf("printed %q", got)
+	}
+	if c.PendingInterrupts() != 0 {
+		t.Error("interrupt queue not drained")
+	}
+	foundStart, foundDone := false, false
+	for _, l := range ctl.Log {
+		if strings.Contains(l, "start write") {
+			foundStart = true
+		}
+		if strings.Contains(l, "complete write") {
+			foundDone = true
+		}
+	}
+	if !foundStart || !foundDone {
+		t.Errorf("log: %v", ctl.Log)
+	}
+	_ = img
+}

@@ -1,0 +1,291 @@
+// Package isa defines the instruction set of the simulated processor:
+// the instruction word format of the paper's Figure 3 (INS), the
+// indirect word format (IND), and the opcode table.
+//
+// Instruction word layout (36 bits):
+//
+//	bits 35-27  OPCODE  operation code
+//	bit  26     I       indirect flag (INST.I)
+//	bit  25     P       pointer-register-relative flag
+//	bits 24-22  PRNUM   pointer register number (INST.PRNUM)
+//	bits 21-18  TAG     index-register modification (0 = none, 1-8 = X0-X7).
+//	                    Reused as a register selector by EAP and SPR
+//	                    (target/source pointer register 0-7) and by LDX,
+//	                    STX and LIX (index register 0-7), and as the
+//	                    return-point displacement by STIC; those five
+//	                    instructions do not index.
+//	bits 17-0   OFFSET  18-bit offset (INST.OFFSET)
+//
+// Indirect word layout (36 bits):
+//
+//	bits 35-33  RING    validation ring number (IND.RING)
+//	bit  32     I       further indirection flag (IND.I)
+//	bits 31-18  SEGNO   segment number
+//	bits 17-0   WORDNO  word number
+//
+// The instruction set is deliberately small — enough to write the
+// supervisor veneers, the example subsystems, and the benchmark kernels —
+// but complete with respect to the paper: every addressing mode that
+// participates in ring validation (direct, PR-relative, indexed,
+// indirect with chained indirection) and both ring-crossing instructions
+// (CALL, RETURN) are present, as are the privileged instructions the
+// paper names (load DBR, start I/O, restore processor state).
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Opcode is a 9-bit operation code.
+type Opcode uint16
+
+// The instruction set. Opcode 0 is deliberately unassigned so that
+// execution of zeroed memory traps immediately.
+const (
+	ILL Opcode = 0o000 // unassigned; illegal-opcode trap
+
+	NOP Opcode = 0o001 // no operation
+	HLT Opcode = 0o002 // halt the processor
+
+	LDA Opcode = 0o010 // A := operand
+	STA Opcode = 0o011 // operand := A
+	LDQ Opcode = 0o012 // Q := operand
+	STQ Opcode = 0o013 // operand := Q
+	LDX Opcode = 0o014 // X[PRNUM] := operand.lower
+	STX Opcode = 0o015 // operand := X[PRNUM] (upper half zero)
+
+	LIA Opcode = 0o020 // A := signext18(OFFSET)
+	AIA Opcode = 0o021 // A := A + signext18(OFFSET)
+	LIQ Opcode = 0o022 // Q := signext18(OFFSET)
+	LIX Opcode = 0o023 // X[PRNUM] := OFFSET
+
+	ADA Opcode = 0o030 // A := A + operand
+	SBA Opcode = 0o031 // A := A - operand
+	ANA Opcode = 0o032 // A := A & operand
+	ORA Opcode = 0o033 // A := A | operand
+	ERA Opcode = 0o034 // A := A ^ operand
+	CMA Opcode = 0o035 // indicators := compare(A, operand)
+	AOS Opcode = 0o036 // operand := operand + 1 (read-modify-write)
+
+	ALS Opcode = 0o040 // A := A << OFFSET
+	ARS Opcode = 0o041 // A := A >> OFFSET (logical)
+
+	EAP  Opcode = 0o050 // PR[PRNUM] := TPR (effective address to pointer register)
+	SPR  Opcode = 0o051 // operand := PR[PRNUM] as an indirect word
+	STIC Opcode = 0o052 // operand := IPR+1+TAG as an indirect word (save return point)
+
+	TRA Opcode = 0o060 // transfer
+	TZE Opcode = 0o061 // transfer if zero indicator
+	TNZ Opcode = 0o062 // transfer if not zero
+	TMI Opcode = 0o063 // transfer if negative
+	TPL Opcode = 0o064 // transfer if not negative
+
+	CALL Opcode = 0o070 // call (may switch ring downward; Figure 8)
+	RET  Opcode = 0o071 // return (may switch ring upward; Figure 9)
+
+	LDBR Opcode = 0o100 // privileged: DBR := operand pair
+	SIO  Opcode = 0o101 // privileged: start I/O from control block at operand
+	RETT Opcode = 0o102 // privileged: restore processor state saved at trap
+	SVC  Opcode = 0o103 // privileged: supervisor service OFFSET (simulator service stub)
+)
+
+// OperandClass describes how an instruction uses its operand, which in
+// turn determines the validation performed (Figures 5-7).
+type OperandClass int
+
+const (
+	// ClassNone: no effective address is formed; the offset field is an
+	// immediate or shift count, or unused.
+	ClassNone OperandClass = iota
+	// ClassRead: effective address formed, operand read (Figure 6).
+	ClassRead
+	// ClassWrite: effective address formed, operand written (Figure 6).
+	ClassWrite
+	// ClassReadWrite: operand read then written (both checks).
+	ClassReadWrite
+	// ClassEAOnly: effective address formed but the operand is not
+	// referenced and no validation is performed (EAP-type, Figure 7).
+	ClassEAOnly
+	// ClassTransfer: effective address formed; advance check of Figure 7.
+	ClassTransfer
+	// ClassCall: the CALL instruction (Figure 8).
+	ClassCall
+	// ClassReturn: the RETURN instruction (Figure 9).
+	ClassReturn
+)
+
+// Info is the decoded metadata for one opcode.
+type Info struct {
+	Name       string
+	Class      OperandClass
+	Privileged bool // executes only in ring 0
+}
+
+var table = map[Opcode]Info{
+	NOP:  {"nop", ClassNone, false},
+	HLT:  {"hlt", ClassNone, false},
+	LDA:  {"lda", ClassRead, false},
+	STA:  {"sta", ClassWrite, false},
+	LDQ:  {"ldq", ClassRead, false},
+	STQ:  {"stq", ClassWrite, false},
+	LDX:  {"ldx", ClassRead, false},
+	STX:  {"stx", ClassWrite, false},
+	LIA:  {"lia", ClassNone, false},
+	AIA:  {"aia", ClassNone, false},
+	LIQ:  {"liq", ClassNone, false},
+	LIX:  {"lix", ClassNone, false},
+	ADA:  {"ada", ClassRead, false},
+	SBA:  {"sba", ClassRead, false},
+	ANA:  {"ana", ClassRead, false},
+	ORA:  {"ora", ClassRead, false},
+	ERA:  {"era", ClassRead, false},
+	CMA:  {"cma", ClassRead, false},
+	AOS:  {"aos", ClassReadWrite, false},
+	ALS:  {"als", ClassNone, false},
+	ARS:  {"ars", ClassNone, false},
+	EAP:  {"eap", ClassEAOnly, false},
+	SPR:  {"spr", ClassWrite, false},
+	STIC: {"stic", ClassWrite, false},
+	TRA:  {"tra", ClassTransfer, false},
+	TZE:  {"tze", ClassTransfer, false},
+	TNZ:  {"tnz", ClassTransfer, false},
+	TMI:  {"tmi", ClassTransfer, false},
+	TPL:  {"tpl", ClassTransfer, false},
+	CALL: {"call", ClassCall, false},
+	RET:  {"return", ClassReturn, false},
+	LDBR: {"ldbr", ClassRead, true},
+	SIO:  {"sio", ClassRead, true},
+	RETT: {"rett", ClassNone, true},
+	SVC:  {"svc", ClassNone, true},
+}
+
+// Lookup returns the metadata for op and whether op is defined.
+func Lookup(op Opcode) (Info, bool) {
+	info, ok := table[op]
+	return info, ok
+}
+
+// ByName returns the opcode with the given assembler mnemonic.
+func ByName(name string) (Opcode, bool) {
+	for op, info := range table {
+		if info.Name == name {
+			return op, true
+		}
+	}
+	return ILL, false
+}
+
+// Opcodes returns every defined opcode (order unspecified).
+func Opcodes() []Opcode {
+	out := make([]Opcode, 0, len(table))
+	for op := range table {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Instruction is a decoded instruction word.
+type Instruction struct {
+	Op     Opcode
+	Ind    bool   // INST.I: operand address is indirect
+	PRRel  bool   // operand offset is relative to PR[PR]
+	PR     uint8  // pointer register number (also X selector for LDX/STX/LIX, PR selector for EAP/SPR)
+	Tag    uint8  // index register modification (0 none, 1-8 = X0-X7); STIC displacement
+	Offset uint32 // 18-bit offset
+}
+
+// Encode packs the instruction into a word.
+func (i Instruction) Encode() word.Word {
+	return word.Word(0).
+		Deposit(27, 9, uint64(i.Op)).
+		WithBit(26, i.Ind).
+		WithBit(25, i.PRRel).
+		Deposit(22, 3, uint64(i.PR)).
+		Deposit(18, 4, uint64(i.Tag)).
+		Deposit(0, 18, uint64(i.Offset))
+}
+
+// DecodeInstruction unpacks an instruction word.
+func DecodeInstruction(w word.Word) Instruction {
+	return Instruction{
+		Op:     Opcode(w.Field(27, 9)),
+		Ind:    w.Bit(26),
+		PRRel:  w.Bit(25),
+		PR:     uint8(w.Field(22, 3)),
+		Tag:    uint8(w.Field(18, 4)),
+		Offset: uint32(w.Field(0, 18)),
+	}
+}
+
+func (i Instruction) String() string {
+	info, ok := Lookup(i.Op)
+	name := info.Name
+	if !ok {
+		name = fmt.Sprintf("op%03o", uint16(i.Op))
+	}
+	// Register-suffixed mnemonics carry TAG as the register number.
+	suffix := ""
+	switch i.Op {
+	case EAP, SPR, LDX, STX, LIX:
+		name = fmt.Sprintf("%s%d", name, i.Tag&7)
+	case STIC:
+		if i.Tag != 0 {
+			suffix = fmt.Sprintf(",+%d", i.Tag)
+		}
+	default:
+		if i.Tag != 0 {
+			suffix = fmt.Sprintf(",x%d", i.Tag-1)
+		}
+	}
+	s := name
+	if i.Ind {
+		s += " *"
+	} else {
+		s += " "
+	}
+	if i.PRRel {
+		s += fmt.Sprintf("pr%d|", i.PR)
+	}
+	return s + fmt.Sprintf("%o", i.Offset) + suffix
+}
+
+// Indirect is a decoded indirect word (IND in Figure 3). The paper added
+// ring numbers to indirect words (Daley's suggestion) precisely so the
+// effective-ring computation can account for every ring that could have
+// influenced an address.
+type Indirect struct {
+	Ring    core.Ring
+	Further bool // IND.I: continue indirection through this word's target
+	Segno   uint32
+	Wordno  uint32
+}
+
+// Encode packs the indirect word.
+func (d Indirect) Encode() word.Word {
+	return word.Word(0).
+		Deposit(33, 3, uint64(d.Ring)).
+		WithBit(32, d.Further).
+		Deposit(18, 14, uint64(d.Segno)).
+		Deposit(0, 18, uint64(d.Wordno))
+}
+
+// DecodeIndirect unpacks an indirect word.
+func DecodeIndirect(w word.Word) Indirect {
+	return Indirect{
+		Ring:    core.Ring(w.Field(33, 3)),
+		Further: w.Bit(32),
+		Segno:   uint32(w.Field(18, 14)),
+		Wordno:  uint32(w.Field(0, 18)),
+	}
+}
+
+func (d Indirect) String() string {
+	f := ""
+	if d.Further {
+		f = ",*"
+	}
+	return fmt.Sprintf("(%o|%o ring %d%s)", d.Segno, d.Wordno, d.Ring, f)
+}

@@ -1,0 +1,177 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func TestInstructionRoundTrip(t *testing.T) {
+	ins := Instruction{Op: LDA, Ind: true, PRRel: true, PR: 6, Tag: 3, Offset: 0o1234}
+	w := ins.Encode()
+	if got := DecodeInstruction(w); got != ins {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestOpcodeZeroIsIllegal(t *testing.T) {
+	if _, ok := Lookup(ILL); ok {
+		t.Error("opcode 0 must be unassigned")
+	}
+	ins := DecodeInstruction(word.Word(0))
+	if ins.Op != ILL {
+		t.Errorf("zero word decodes to op %o", ins.Op)
+	}
+}
+
+func TestLookupAllDefined(t *testing.T) {
+	for _, op := range Opcodes() {
+		info, ok := Lookup(op)
+		if !ok {
+			t.Fatalf("opcode %o not found", op)
+		}
+		if info.Name == "" {
+			t.Errorf("opcode %o has empty name", op)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := map[string]Opcode{
+		"lda": LDA, "sta": STA, "call": CALL, "return": RET,
+		"eap": EAP, "ldbr": LDBR, "svc": SVC, "stic": STIC,
+	}
+	for name, want := range cases {
+		got, ok := ByName(name)
+		if !ok || got != want {
+			t.Errorf("ByName(%q) = %o, %v", name, got, ok)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("bogus mnemonic resolved")
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]Opcode{}
+	for _, op := range Opcodes() {
+		info, _ := Lookup(op)
+		if prev, dup := seen[info.Name]; dup {
+			t.Errorf("name %q used by %o and %o", info.Name, prev, op)
+		}
+		seen[info.Name] = op
+	}
+}
+
+func TestPrivilegedSet(t *testing.T) {
+	// Exactly the instructions the paper names as privileged (plus the
+	// simulator's service stub) are privileged.
+	want := map[Opcode]bool{LDBR: true, SIO: true, RETT: true, SVC: true}
+	for _, op := range Opcodes() {
+		info, _ := Lookup(op)
+		if info.Privileged != want[op] {
+			t.Errorf("opcode %s privileged=%v", info.Name, info.Privileged)
+		}
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	cases := map[Opcode]OperandClass{
+		NOP: ClassNone, HLT: ClassNone, LIA: ClassNone, ALS: ClassNone,
+		LDA: ClassRead, ADA: ClassRead, CMA: ClassRead, LDBR: ClassRead,
+		STA: ClassWrite, SPR: ClassWrite, STIC: ClassWrite,
+		AOS: ClassReadWrite,
+		EAP: ClassEAOnly,
+		TRA: ClassTransfer, TZE: ClassTransfer,
+		CALL: ClassCall,
+		RET:  ClassReturn,
+	}
+	for op, want := range cases {
+		info, _ := Lookup(op)
+		if info.Class != want {
+			t.Errorf("%s class = %d, want %d", info.Name, info.Class, want)
+		}
+	}
+}
+
+func TestIndirectRoundTrip(t *testing.T) {
+	d := Indirect{Ring: 5, Further: true, Segno: 0o1234, Wordno: 0o56701}
+	if got := DecodeIndirect(d.Encode()); got != d {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	ins := Instruction{Op: LDA, Ind: true, PRRel: true, PR: 3, Tag: 2, Offset: 7}
+	if ins.String() == "" {
+		t.Error("empty instruction string")
+	}
+	ins.Op = Opcode(0o777)
+	if ins.String() == "" {
+		t.Error("empty unknown-op string")
+	}
+	d := Indirect{Ring: 1, Further: true, Segno: 2, Wordno: 3}
+	if d.String() == "" {
+		t.Error("empty indirect string")
+	}
+}
+
+// Property: instruction encode/decode is the identity over the field
+// space.
+func TestQuickInstructionRoundTrip(t *testing.T) {
+	f := func(op uint16, ind, prrel bool, pr, tag uint8, off uint32) bool {
+		ins := Instruction{
+			Op:     Opcode(op % (1 << 9)),
+			Ind:    ind,
+			PRRel:  prrel,
+			PR:     pr % 8,
+			Tag:    tag % 16,
+			Offset: off % (1 << 18),
+		}
+		return DecodeInstruction(ins.Encode()) == ins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: indirect word encode/decode is the identity.
+func TestQuickIndirectRoundTrip(t *testing.T) {
+	f := func(ring uint8, further bool, segno, wordno uint32) bool {
+		d := Indirect{
+			Ring:    core.Ring(ring % 8),
+			Further: further,
+			Segno:   segno % (1 << 14),
+			Wordno:  wordno % (1 << 18),
+		}
+		return DecodeIndirect(d.Encode()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct instructions encode to distinct words (injectivity
+// over canonical field ranges).
+func TestQuickInstructionInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[word.Word]Instruction{}
+	for i := 0; i < 10000; i++ {
+		ins := Instruction{
+			Op:     Opcode(rng.Intn(1 << 9)),
+			Ind:    rng.Intn(2) == 0,
+			PRRel:  rng.Intn(2) == 0,
+			PR:     uint8(rng.Intn(8)),
+			Tag:    uint8(rng.Intn(16)),
+			Offset: uint32(rng.Intn(1 << 18)),
+		}
+		w := ins.Encode()
+		if prev, ok := seen[w]; ok && prev != ins {
+			t.Fatalf("collision: %+v and %+v both encode to %v", prev, ins, w)
+		}
+		seen[w] = ins
+	}
+}

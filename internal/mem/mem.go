@@ -1,0 +1,199 @@
+// Package mem implements the word-addressed core memory of the simulated
+// machine, together with a simple block allocator used by the image
+// builder to place segments.
+//
+// The paper assumes storage for segments is allocated "in scattered
+// fixed-length blocks" by a paging scheme, but explicitly sets paging
+// aside as transparent to access control. We follow suit: memory is a
+// flat array of 36-bit words and segments are placed contiguously. The
+// optional paging layer in internal/paging demonstrates the transparency
+// claim.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/word"
+)
+
+// Fault describes an out-of-bounds physical memory reference. A Fault
+// escaping to a caller always indicates a simulator bug or a corrupted
+// descriptor: virtual-level bound checks happen before translation.
+type Fault struct {
+	Addr int
+	Size int
+	Op   string // "read" or "write"
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s of absolute address %o outside core of %o words", f.Op, f.Addr, f.Size)
+}
+
+// Store is word-addressed physical storage: flat core (Memory) or a
+// demand-paged space (internal/paging). The processor and descriptor
+// tables address storage only through this interface, which is what
+// lets the paging substitution demonstrate the paper's claim that
+// "paging, if appropriately implemented, need not affect access
+// control".
+type Store interface {
+	Read(addr int) (word.Word, error)
+	Write(addr int, w word.Word) error
+	Size() int
+}
+
+// Memory is a flat, word-addressed core store.
+type Memory struct {
+	words []word.Word
+}
+
+var _ Store = (*Memory)(nil)
+
+// New returns a zeroed memory of size words.
+func New(size int) *Memory {
+	if size <= 0 {
+		panic("mem: non-positive memory size")
+	}
+	return &Memory{words: make([]word.Word, size)}
+}
+
+// Size returns the number of words of core.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Read fetches the word at absolute address addr.
+func (m *Memory) Read(addr int) (word.Word, error) {
+	if addr < 0 || addr >= len(m.words) {
+		return 0, &Fault{Addr: addr, Size: len(m.words), Op: "read"}
+	}
+	return m.words[addr], nil
+}
+
+// Write stores w at absolute address addr.
+func (m *Memory) Write(addr int, w word.Word) error {
+	if addr < 0 || addr >= len(m.words) {
+		return &Fault{Addr: addr, Size: len(m.words), Op: "write"}
+	}
+	m.words[addr] = w
+	return nil
+}
+
+// ReadRange copies n words starting at addr into a fresh slice.
+func ReadRange(s Store, addr, n int) ([]word.Word, error) {
+	if n < 0 || addr < 0 || addr+n > s.Size() {
+		return nil, &Fault{Addr: addr, Size: s.Size(), Op: "read"}
+	}
+	out := make([]word.Word, n)
+	for i := range out {
+		w, err := s.Read(addr + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// WriteRange stores the words of src starting at addr.
+func WriteRange(s Store, addr int, src []word.Word) error {
+	if addr < 0 || addr+len(src) > s.Size() {
+		return &Fault{Addr: addr, Size: s.Size(), Op: "write"}
+	}
+	for i, w := range src {
+		if err := s.Write(addr+i, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clear zeroes n words starting at addr.
+func Clear(s Store, addr, n int) error {
+	if n < 0 || addr < 0 || addr+n > s.Size() {
+		return &Fault{Addr: addr, Size: s.Size(), Op: "write"}
+	}
+	for i := addr; i < addr+n; i++ {
+		if err := s.Write(i, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allocator hands out non-overlapping regions of a Store. It is a
+// first-fit free-list allocator; segments in this simulator are allocated
+// once at image-build time and occasionally grown by the supervisor, so
+// allocation performance is irrelevant next to clarity.
+type Allocator struct {
+	size int
+	free []span // sorted by base, coalesced
+}
+
+type span struct{ base, size int }
+
+// NewAllocator manages size words except the first reserve, which are
+// left for fixed structures (the trap vector and descriptor segment
+// base, by convention of the image builder).
+func NewAllocator(size, reserve int) *Allocator {
+	if reserve < 0 || reserve > size {
+		panic("mem: bad reserve")
+	}
+	return &Allocator{
+		size: size,
+		free: []span{{base: reserve, size: size - reserve}},
+	}
+}
+
+// Alloc returns the base address of a fresh region of n words, or an
+// error if core is exhausted.
+func (a *Allocator) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: allocation of %d words", n)
+	}
+	for i, s := range a.free {
+		if s.size >= n {
+			base := s.base
+			a.free[i].base += n
+			a.free[i].size -= n
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("mem: out of core allocating %d words", n)
+}
+
+// Free returns a region to the allocator, coalescing with neighbours.
+func (a *Allocator) Free(base, n int) error {
+	if n <= 0 || base < 0 || base+n > a.size {
+		return fmt.Errorf("mem: bad free of [%o,%o)", base, base+n)
+	}
+	for _, s := range a.free {
+		if base < s.base+s.size && s.base < base+n {
+			return fmt.Errorf("mem: double free of [%o,%o)", base, base+n)
+		}
+	}
+	a.free = append(a.free, span{base, n})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].base < a.free[j].base })
+	// Coalesce adjacent spans.
+	out := a.free[:1]
+	for _, s := range a.free[1:] {
+		last := &out[len(out)-1]
+		if last.base+last.size == s.base {
+			last.size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+	return nil
+}
+
+// FreeWords reports the total unallocated core.
+func (a *Allocator) FreeWords() int {
+	total := 0
+	for _, s := range a.free {
+		total += s.size
+	}
+	return total
+}

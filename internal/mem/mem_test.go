@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(128)
+	if err := m.Write(5, word.FromInt(42)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int64() != 42 {
+		t.Errorf("read back %d", w.Int64())
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New(16)
+	for i := 0; i < 16; i++ {
+		w, err := m.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.IsZero() {
+			t.Fatalf("word %d not zero", i)
+		}
+	}
+}
+
+func TestBoundsFaults(t *testing.T) {
+	m := New(8)
+	if _, err := m.Read(8); err == nil {
+		t.Error("read at size did not fault")
+	}
+	if _, err := m.Read(-1); err == nil {
+		t.Error("negative read did not fault")
+	}
+	if err := m.Write(100, 0); err == nil {
+		t.Error("write past end did not fault")
+	}
+	var f *Fault
+	err := m.Write(100, 0)
+	if !errors.As(err, &f) {
+		t.Fatalf("error is not *Fault: %v", err)
+	}
+	if f.Addr != 100 || f.Op != "write" {
+		t.Errorf("fault fields: %+v", f)
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	m := New(32)
+	src := []word.Word{1, 2, 3, 4}
+	if err := WriteRange(m, 10, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRange(m, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Errorf("word %d = %v", i, got[i])
+		}
+	}
+	if err := Clear(m, 11, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ReadRange(m, 10, 4)
+	if got[0] != 1 || got[1] != 0 || got[2] != 0 || got[3] != 4 {
+		t.Errorf("after clear: %v", got)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	m := New(8)
+	if _, err := ReadRange(m, 6, 4); err == nil {
+		t.Error("ReadRange past end did not fault")
+	}
+	if err := WriteRange(m, 7, []word.Word{1, 2}); err == nil {
+		t.Error("WriteRange past end did not fault")
+	}
+	if err := Clear(m, 0, -1); err == nil {
+		t.Error("negative clear did not fault")
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	m := New(100)
+	a := NewAllocator(m.Size(), 10)
+	b1, err := a.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != 10 {
+		t.Errorf("first alloc at %d, want 10", b1)
+	}
+	b2, err := a.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != 40 {
+		t.Errorf("second alloc at %d, want 40", b2)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Error("over-allocation did not fail")
+	}
+}
+
+func TestAllocatorFreeCoalesce(t *testing.T) {
+	m := New(100)
+	a := NewAllocator(m.Size(), 0)
+	b1, _ := a.Alloc(50)
+	b2, _ := a.Alloc(50)
+	if err := a.Free(b1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b2, 50); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeWords() != 100 {
+		t.Errorf("FreeWords = %d", a.FreeWords())
+	}
+	// After coalescing, one big allocation must succeed.
+	if _, err := a.Alloc(100); err != nil {
+		t.Errorf("coalesced alloc failed: %v", err)
+	}
+}
+
+func TestAllocatorDoubleFree(t *testing.T) {
+	m := New(100)
+	a := NewAllocator(m.Size(), 0)
+	b, _ := a.Alloc(10)
+	if err := a.Free(b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b, 10); err == nil {
+		t.Error("double free not detected")
+	}
+}
+
+func TestAllocatorBadFree(t *testing.T) {
+	m := New(100)
+	a := NewAllocator(m.Size(), 0)
+	if err := a.Free(90, 20); err == nil {
+		t.Error("free past end not rejected")
+	}
+	if err := a.Free(0, 0); err == nil {
+		t.Error("zero-size free not rejected")
+	}
+}
+
+// Property: a write followed by a read at any in-bounds address returns
+// the written word and disturbs no other word.
+func TestQuickWriteIsolated(t *testing.T) {
+	const size = 64
+	f := func(addrSeed uint8, v uint64) bool {
+		m := New(size)
+		sentinel := word.FromUint64(0o525252525252)
+		for i := 0; i < size; i++ {
+			_ = m.Write(i, sentinel)
+		}
+		addr := int(addrSeed) % size
+		if err := m.Write(addr, word.FromUint64(v)); err != nil {
+			return false
+		}
+		for i := 0; i < size; i++ {
+			got, err := m.Read(i)
+			if err != nil {
+				return false
+			}
+			want := sentinel
+			if i == addr {
+				want = word.FromUint64(v)
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocations never overlap and stay in bounds.
+func TestQuickAllocDisjoint(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		m := New(4096)
+		a := NewAllocator(m.Size(), 16)
+		type region struct{ base, size int }
+		var regions []region
+		for _, s := range sizes {
+			n := int(s)%64 + 1
+			base, err := a.Alloc(n)
+			if err != nil {
+				break // out of core is fine
+			}
+			if base < 16 || base+n > 4096 {
+				return false
+			}
+			for _, r := range regions {
+				if base < r.base+r.size && r.base < base+n {
+					return false // overlap
+				}
+			}
+			regions = append(regions, region{base, n})
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

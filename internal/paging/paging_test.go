@@ -1,0 +1,199 @@
+package paging_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/mem"
+	"repro/internal/paging"
+	"repro/internal/sup"
+	"repro/internal/word"
+)
+
+func TestBasicReadWrite(t *testing.T) {
+	s, err := paging.New(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(100, word.FromInt(42)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Read(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int64() != 42 {
+		t.Errorf("read back %d", w.Int64())
+	}
+	if s.Faults != 1 {
+		t.Errorf("faults = %d", s.Faults)
+	}
+	// Untouched page reads as zero and faults in a frame.
+	w, err = s.Read(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsZero() || s.Faults != 2 {
+		t.Errorf("w=%v faults=%d", w, s.Faults)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s, err := paging.New(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(256); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := s.Write(-1, 0); err == nil {
+		t.Error("negative write accepted")
+	}
+	if s.FrameOf(-5) != -1 || s.FrameOf(99999) != -1 {
+		t.Error("FrameOf out of range")
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	if _, err := paging.New(100, 64); err == nil {
+		t.Error("non-multiple size accepted")
+	}
+	if _, err := paging.New(0, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := paging.New(64, 0); err == nil {
+		t.Error("zero page accepted")
+	}
+}
+
+func TestFramesAreScattered(t *testing.T) {
+	s, err := paging.New(64*16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch several consecutive pages.
+	for p := 0; p < 6; p++ {
+		if err := s.Write(p*64, word.FromInt(int64(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Scattered() {
+		t.Error("consecutive pages landed in contiguous frames")
+	}
+	if s.ResidentPages() != 6 {
+		t.Errorf("resident = %d", s.ResidentPages())
+	}
+	// Distinct pages must have distinct frames.
+	seen := map[int]bool{}
+	for p := 0; p < 6; p++ {
+		f := s.FrameOf(p * 64)
+		if f < 0 || seen[f] {
+			t.Errorf("page %d frame %d duplicated or absent", p, f)
+		}
+		seen[f] = true
+	}
+}
+
+// Property: the paged space is observationally equal to flat memory for
+// arbitrary write/read sequences.
+func TestQuickEquivalentToFlat(t *testing.T) {
+	f := func(ops []uint16, vals []uint64) bool {
+		const size = 512
+		paged, err := paging.New(size, 32)
+		if err != nil {
+			return false
+		}
+		flat := mem.New(size)
+		for i, op := range ops {
+			addr := int(op) % size
+			if i < len(vals) {
+				w := word.FromUint64(vals[i])
+				if paged.Write(addr, w) != nil || flat.Write(addr, w) != nil {
+					return false
+				}
+			}
+			pw, err1 := paged.Read(addr)
+			fw, err2 := flat.Read(addr)
+			if err1 != nil || err2 != nil || pw != fw {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPagingTransparentToAccessControl is the paper's claim: the entire
+// cross-ring machine image built on demand-paged storage behaves
+// identically to the same image on flat core — every protection
+// decision happens above the page layer.
+func TestPagingTransparentToAccessControl(t *testing.T) {
+	src := sup.GateSource + `
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    service$serve
+        call    sysgates$exit
+
+        .seg    service
+        .bracket 1,1,5
+        .gate   serve
+serve:  eap5    *pr0|0
+        spr6    pr5|0
+        lia     1234
+        eap6    *pr5|0
+        return  *pr6|0
+`
+	run := func(backing mem.Store) (int64, uint64) {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := image.Config{}
+		if backing != nil {
+			cfg.Backing = backing
+		} else {
+			cfg.MemWords = 1 << 18
+		}
+		img, err := asm.BuildImage(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sup.Attach(img, "alice")
+		if err := img.Start(4, "main", 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := img.CPU.Run(10000); err != nil {
+			t.Fatalf("%v (audit %v)", err, s.Audit)
+		}
+		if !s.Exited {
+			t.Fatal("no clean exit")
+		}
+		return s.ExitCode, img.CPU.Cycles
+	}
+
+	flatExit, flatCycles := run(nil)
+	space, err := paging.New(1<<18, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagedExit, pagedCycles := run(space)
+
+	if flatExit != pagedExit {
+		t.Errorf("exit codes differ: flat %d, paged %d", flatExit, pagedExit)
+	}
+	if flatCycles != pagedCycles {
+		t.Errorf("simulated cycles differ: flat %d, paged %d (paging leaked into the architecture)",
+			flatCycles, pagedCycles)
+	}
+	if space.Faults == 0 {
+		t.Error("no page faults: the paged run did not actually page")
+	}
+	if !space.Scattered() {
+		t.Error("paged image not scattered")
+	}
+}

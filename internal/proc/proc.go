@@ -1,0 +1,444 @@
+// Package proc implements the multi-process side of the paper's
+// machine model: "a process with a new virtual memory is created for
+// each user when he logs in to the system, and the name of the user is
+// associated with the process", and "Changing the absolute address in
+// the DBR of a processor will cause the address translation logic to
+// interpret two-part addresses relative to a different descriptor
+// segment. This facility can be used to provide each user of the
+// system with a separate virtual memory. A single segment may be part
+// of several virtual memories at the same time, allowing
+// straightforward sharing of segments among users."
+//
+// Each process gets its own descriptor segment — with SDW brackets and
+// flags derived from its user's entry on each shared segment's access
+// control list — and its own eight stack segments at segment numbers
+// 0-7. Shared segments occupy the same segment numbers in every
+// process's virtual memory and the same words of core. A round-robin
+// scheduler multiplexes the single simulated processor by swapping the
+// register state and the DBR, exactly the mechanism the paper
+// describes.
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/seg"
+	"repro/internal/sup"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// Config sizes the multi-process machine.
+type Config struct {
+	MemWords    int // default 1<<21
+	MaxSegments int // per-process descriptor bound; default 128
+	StackSize   int // per-ring stack words; default 512
+}
+
+// SharedDef describes one on-line segment shared among processes. Its
+// ACL decides, per user, the flags and brackets that appear in each
+// process's SDW — or that the segment is absent from that process's
+// virtual memory entirely.
+type SharedDef struct {
+	Name  string
+	Words []word.Word
+	Size  int // ≥ len(Words); 0 means len(Words)
+	Gates uint32
+	ACL   acl.List
+}
+
+// sharedSeg is a placed shared segment.
+type sharedSeg struct {
+	def   SharedDef
+	segno uint32
+	addr  uint32
+	bound uint32
+}
+
+// Process is one process: a user, a virtual memory (descriptor
+// segment + private stacks), a register context, and its supervisor.
+type Process struct {
+	Name string
+	User string
+	Sup  *sup.Supervisor
+
+	dbr   seg.DBR
+	state cpu.SavedState // registers while not running
+	valid bool           // state holds a resumable context
+
+	// Done, Exited, ExitCode and Trap report the process's fate.
+	Done     bool
+	Exited   bool
+	ExitCode int64
+	Trap     *trap.Trap
+	// Slices counts scheduler quanta consumed.
+	Slices int
+	// Cycles attributes simulated cycles to this process.
+	Cycles uint64
+}
+
+// System is the multi-process machine.
+type System struct {
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+	CPU   *cpu.CPU
+
+	cfg       Config
+	shared    map[string]*sharedSeg
+	nextSegno uint32
+	procs     []*Process
+}
+
+// NewSystem creates an empty multi-process machine.
+func NewSystem(cfg Config) *System {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 21
+	}
+	if cfg.MaxSegments == 0 {
+		cfg.MaxSegments = 128
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 512
+	}
+	m := mem.New(cfg.MemWords)
+	alloc := mem.NewAllocator(cfg.MemWords, 64) // low core reserved (fault vector convention)
+	return &System{
+		Mem:       m,
+		Alloc:     alloc,
+		CPU:       cpu.New(m, cpu.DefaultOptions()),
+		cfg:       cfg,
+		shared:    map[string]*sharedSeg{},
+		nextSegno: core.NumRings, // 0-7 are the per-process stacks
+	}
+}
+
+// AddShared places a shared segment in core and assigns its (global)
+// segment number.
+func (s *System) AddShared(def SharedDef) (uint32, error) {
+	if def.Name == "" {
+		return 0, fmt.Errorf("proc: shared segment with empty name")
+	}
+	if _, dup := s.shared[def.Name]; dup {
+		return 0, fmt.Errorf("proc: duplicate shared segment %q", def.Name)
+	}
+	if err := def.ACL.Validate(); err != nil {
+		return 0, err
+	}
+	size := def.Size
+	if size == 0 {
+		size = len(def.Words)
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("proc: shared segment %q has zero size", def.Name)
+	}
+	if uint32(s.nextSegno) >= uint32(s.cfg.MaxSegments) {
+		return 0, fmt.Errorf("proc: out of segment numbers for %q", def.Name)
+	}
+	base, err := s.Alloc.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := mem.WriteRange(s.Mem, base, def.Words); err != nil {
+		return 0, err
+	}
+	sh := &sharedSeg{def: def, segno: s.nextSegno, addr: uint32(base), bound: uint32(size)}
+	s.nextSegno++
+	s.shared[def.Name] = sh
+	return sh.segno, nil
+}
+
+// AddProgram places every segment of an assembled program as a shared
+// segment, with ACLs chosen by aclFor (nil means: every user gets the
+// segment's assembled flags and brackets), then links the program.
+func (s *System) AddProgram(prog *asm.Program, aclFor func(segName string) acl.List) error {
+	for _, ps := range prog.Segments {
+		list := acl.List{{
+			User: "*",
+			Read: ps.Read, Write: ps.Write, Execute: ps.Execute,
+			Brackets: ps.Brackets,
+		}}
+		if aclFor != nil {
+			if custom := aclFor(ps.Name); custom != nil {
+				list = custom
+			}
+		}
+		if _, err := s.AddShared(SharedDef{
+			Name:  ps.Name,
+			Words: ps.Words,
+			Gates: ps.GateCount,
+			ACL:   list,
+		}); err != nil {
+			return err
+		}
+	}
+	return asm.Link(s, prog)
+}
+
+// Segno implements asm.Space for shared segments.
+func (s *System) Segno(name string) (uint32, error) {
+	sh, ok := s.shared[name]
+	if !ok {
+		return 0, fmt.Errorf("proc: no shared segment %q", name)
+	}
+	return sh.segno, nil
+}
+
+// ReadWord implements asm.Space (console privilege).
+func (s *System) ReadWord(name string, wordno uint32) (word.Word, error) {
+	sh, ok := s.shared[name]
+	if !ok || wordno >= sh.bound {
+		return 0, fmt.Errorf("proc: read outside %q", name)
+	}
+	return s.Mem.Read(int(sh.addr + wordno))
+}
+
+// WriteWord implements asm.Space (console privilege).
+func (s *System) WriteWord(name string, wordno uint32, w word.Word) error {
+	sh, ok := s.shared[name]
+	if !ok || wordno >= sh.bound {
+		return fmt.Errorf("proc: write outside %q", name)
+	}
+	return s.Mem.Write(int(sh.addr+wordno), w)
+}
+
+// Spawn creates a process for user: a fresh descriptor segment whose
+// SDWs are derived from each shared segment's ACL (absent when the ACL
+// denies the user), private stacks, and a register context starting at
+// word 0 of startSeg in the given ring.
+func (s *System) Spawn(name, user, startSeg string, ring core.Ring) (*Process, error) {
+	descWords := 2 * s.cfg.MaxSegments
+	descBase, err := s.Alloc.Alloc(descWords)
+	if err != nil {
+		return nil, err
+	}
+	if err := mem.Clear(s.Mem, descBase, descWords); err != nil {
+		return nil, err
+	}
+	dbr := seg.DBR{Addr: uint32(descBase), Bound: uint32(s.cfg.MaxSegments)}
+	tbl := seg.Table{Mem: s.Mem, DBR: dbr}
+
+	// Private stacks at segment numbers 0-7.
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		base, err := s.Alloc.Alloc(s.cfg.StackSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := mem.Clear(s.Mem, base, s.cfg.StackSize); err != nil {
+			return nil, err
+		}
+		sdw := seg.SDW{
+			Present: true, Addr: uint32(base), Bound: uint32(s.cfg.StackSize),
+			Read: true, Write: true,
+			Brackets: core.Brackets{R1: r, R2: r, R3: r},
+		}
+		if err := tbl.Store(uint32(r), sdw); err != nil {
+			return nil, err
+		}
+		counter := isa.Indirect{Ring: r, Segno: uint32(r), Wordno: image.StackFrameStart}
+		if err := s.Mem.Write(base, counter.Encode()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Shared segments, bracketed per the user's ACL entries.
+	for _, sh := range s.shared {
+		entry, ok := sh.def.ACL.Resolve(user)
+		if !ok {
+			continue // not in this process's virtual memory
+		}
+		sdw := seg.SDW{
+			Present: true, Addr: sh.addr, Bound: sh.bound,
+			Read: entry.Read, Write: entry.Write, Execute: entry.Execute,
+			Brackets: entry.Brackets,
+			Gate:     sh.def.Gates,
+		}
+		if err := tbl.Store(sh.segno, sdw); err != nil {
+			return nil, fmt.Errorf("proc: %q for %q: %w", sh.def.Name, user, err)
+		}
+	}
+
+	startSegno, err := s.Segno(startSeg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		Name: name,
+		User: user,
+		Sup:  sup.New(user),
+		dbr:  dbr,
+	}
+	// Initial register context.
+	p.state.IPR = cpu.Pointer{Ring: ring, Segno: startSegno, Wordno: 0}
+	p.state.PR[cpu.StackPtrPR] = cpu.Pointer{Ring: ring, Segno: uint32(ring), Wordno: image.StackFrameStart}
+	p.state.PR[cpu.StackBasePR] = cpu.Pointer{Ring: ring, Segno: uint32(ring), Wordno: 0}
+	p.valid = true
+	// Reserve the initial frame in the start ring's stack.
+	stackSDW, err := tbl.Fetch(uint32(ring))
+	if err != nil {
+		return nil, err
+	}
+	counter := isa.Indirect{Ring: ring, Segno: uint32(ring), Wordno: image.StackFrameStart + image.FrameSize}
+	if err := s.Mem.Write(seg.Translate(stackSDW, 0), counter.Encode()); err != nil {
+		return nil, err
+	}
+
+	s.procs = append(s.procs, p)
+	return p, nil
+}
+
+// Processes returns the spawned processes.
+func (s *System) Processes() []*Process { return s.procs }
+
+// dispatch loads p's context onto the processor.
+func (s *System) dispatch(p *Process) {
+	c := s.CPU
+	c.DBR = p.dbr
+	c.FlushSDWCache() // new descriptor segment
+	c.IPR = p.state.IPR
+	c.TPR = p.state.TPR
+	c.PR = p.state.PR
+	c.A, c.Q = p.state.A, p.state.Q
+	c.X = p.state.X
+	c.Ind = p.state.Ind
+	c.Halted = false
+	c.Handler = p.Sup
+	c.Services = p.Sup
+}
+
+// park saves the processor context back into p.
+func (s *System) park(p *Process) {
+	c := s.CPU
+	p.state.IPR = c.IPR
+	p.state.TPR = c.TPR
+	p.state.PR = c.PR
+	p.state.A, p.state.Q = c.A, c.Q
+	p.state.X = c.X
+	p.state.Ind = c.Ind
+}
+
+// Schedule runs the processes round-robin with the given quantum
+// (instructions per slice) until all are done or maxSlices slices have
+// been consumed. It returns an error only for simulator faults; process
+// traps are recorded on the process.
+func (s *System) Schedule(quantum, maxSlices int) error {
+	if quantum <= 0 {
+		quantum = 100
+	}
+	slices := 0
+	for slices < maxSlices {
+		live := false
+		for _, p := range s.procs {
+			if p.Done {
+				continue
+			}
+			live = true
+			slices++
+			p.Slices++
+			s.dispatch(p)
+			before := s.CPU.Cycles
+			reason, err := s.CPU.Run(quantum)
+			p.Cycles += s.CPU.Cycles - before
+			if err != nil {
+				if t, ok := err.(*trap.Trap); ok {
+					p.Done = true
+					p.Trap = t
+					continue
+				}
+				return err
+			}
+			switch reason {
+			case cpu.StopHalt:
+				p.Done = true
+				p.Exited = p.Sup.Exited
+				p.ExitCode = p.Sup.ExitCode
+			case cpu.StopLimit:
+				s.park(p) // quantum expired; context switch
+			}
+		}
+		if !live {
+			return nil
+		}
+	}
+	return fmt.Errorf("proc: schedule exceeded %d slices", maxSlices)
+}
+
+// preemptHandler wraps a process's supervisor so timer interrupts stop
+// the Run loop and hand control back to the scheduler, while every
+// other trap goes to the real supervisor.
+type preemptHandler struct {
+	inner     cpu.TrapHandler
+	preempted *bool
+}
+
+func (h preemptHandler) HandleTrap(c *cpu.CPU, t *trap.Trap) cpu.TrapAction {
+	if t.Code == trap.TimerInterrupt {
+		*h.preempted = true
+		return cpu.TrapHalt
+	}
+	return h.inner.HandleTrap(c, t)
+}
+
+// ScheduleInterrupts runs the processes round-robin like Schedule, but
+// preemption is interrupt-driven: before dispatching a process the
+// scheduler arms an interval-timer interrupt (one of the paper's trap
+// sources), and the process runs until the timer trap returns control —
+// "processor multiplexing" by the machine's own trap machinery rather
+// than by the simulator counting steps.
+func (s *System) ScheduleInterrupts(quantum, maxSlices int) error {
+	if quantum <= 0 {
+		quantum = 100
+	}
+	slices := 0
+	for slices < maxSlices {
+		live := false
+		for _, p := range s.procs {
+			if p.Done {
+				continue
+			}
+			live = true
+			slices++
+			p.Slices++
+			s.dispatch(p)
+			preempted := false
+			s.CPU.Handler = preemptHandler{inner: p.Sup, preempted: &preempted}
+			s.CPU.PostInterrupt(cpu.Interrupt{After: uint64(quantum), Code: trap.TimerInterrupt})
+			before := s.CPU.Cycles
+			_, err := s.CPU.Run(100 * quantum) // generous backstop
+			p.Cycles += s.CPU.Cycles - before
+			s.CPU.ClearInterrupts()
+			switch {
+			case err != nil && preempted:
+				// The timer trap stopped the machine; the interrupted
+				// state sits on the save stack. Pop it into the live
+				// registers and park.
+				if rerr := s.CPU.RestoreSaved(); rerr != nil {
+					return rerr
+				}
+				s.CPU.Halted = false
+				s.park(p)
+			case err != nil:
+				if t, ok := err.(*trap.Trap); ok {
+					p.Done = true
+					p.Trap = t
+					continue
+				}
+				return err
+			default:
+				p.Done = true
+				p.Exited = p.Sup.Exited
+				p.ExitCode = p.Sup.ExitCode
+			}
+		}
+		if !live {
+			return nil
+		}
+	}
+	return fmt.Errorf("proc: interrupt schedule exceeded %d slices", maxSlices)
+}

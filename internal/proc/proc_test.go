@@ -1,0 +1,370 @@
+package proc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/sup"
+	"repro/internal/word"
+)
+
+// sharedCounterSrc is a shared, gated ring-1 subsystem that counts its
+// invocations in a shared ring-1 data word, plus a user program that
+// calls it n times.
+const sharedCounterSrc = `
+        .seg    counter
+        .bracket 1,1,5
+        .access rwe
+        .gate   bump
+bump:   eap5    *pr0|0
+        spr6    pr5|0
+        aos     total
+        lda     total
+        eap6    *pr5|0
+        return  *pr6|0
+        .entry  total
+total:  .word   0
+
+        .seg    user
+        .bracket 4,4,4
+        lia     3
+        sta     pr6|2           ; loop counter in the PRIVATE stack frame:
+                                ; the code segment is shared between the
+                                ; processes, working storage must not be
+loop:   stic    pr6|0,+1
+        call    counter$bump
+        lda     pr6|2
+        aia     -1
+        sta     pr6|2
+        tnz     loop
+        stic    pr6|0,+1
+        call    sysgates$exit
+`
+
+func TestTwoProcessesShareSubsystem(t *testing.T) {
+	s := proc.NewSystem(proc.Config{})
+	prog, err := asm.Assemble(sup.GateSource + sharedCounterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := s.Spawn("procA", "alice", "user", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := s.Spawn("procB", "bob", "user", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(20, 10000); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*proc.Process{pa, pb} {
+		if !p.Done || !p.Exited {
+			t.Fatalf("%s: done=%v exited=%v trap=%v audit=%v",
+				p.Name, p.Done, p.Exited, p.Trap, p.Sup.Audit)
+		}
+		if p.Slices < 2 {
+			t.Errorf("%s ran in %d slice(s); quantum too generous for the test", p.Name, p.Slices)
+		}
+	}
+	// The shared subsystem's data segment accumulated BOTH processes'
+	// calls: 3 + 3.
+	totalOff := prog.Segment("counter").Symbols["total"]
+	w, err := s.ReadWord("counter", totalOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int64() != 6 {
+		t.Errorf("shared total = %d, want 6", w.Int64())
+	}
+}
+
+func TestPerProcessACLBrackets(t *testing.T) {
+	// The same shared segment appears writable in alice's virtual
+	// memory but read-only in bob's — the ACL decides per process.
+	s := proc.NewSystem(proc.Config{})
+	prog, err := asm.Assemble(`
+        .seg    writer
+        .bracket 4,4,4
+        lia     7
+        sta     *ptr
+        hlt
+ptr:    .its    4, board$base
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddShared(proc.SharedDef{
+		Name: "board", Size: 8,
+		ACL: acl.List{
+			{User: "alice", Read: true, Write: true, Brackets: core.Brackets{R1: 4, R2: 5, R3: 5}},
+			{User: "*", Read: true, Brackets: core.Brackets{R1: 4, R2: 5, R3: 5}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := s.Spawn("alice-p", "alice", "writer", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := s.Spawn("bob-p", "bob", "writer", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(50, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if pa.Trap != nil {
+		t.Errorf("alice's write trapped: %v", pa.Trap)
+	}
+	if pb.Trap == nil {
+		t.Error("bob's write did not trap")
+	} else if !strings.Contains(pb.Trap.Error(), "write flag off") {
+		t.Errorf("bob's trap: %v", pb.Trap)
+	}
+	w, _ := s.ReadWord("board", 0)
+	if w.Int64() != 7 {
+		t.Errorf("board word = %d (alice's write lost?)", w.Int64())
+	}
+}
+
+func TestACLDenialMeansAbsent(t *testing.T) {
+	// A segment whose ACL has no entry for the user is simply not in
+	// that process's virtual memory: a reference raises a missing-
+	// segment fault.
+	s := proc.NewSystem(proc.Config{})
+	prog, err := asm.Assemble(`
+        .seg    prog
+        .bracket 4,4,4
+        lda     *ptr
+        hlt
+ptr:    .its    4, secret$base
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddShared(proc.SharedDef{
+		Name: "secret", Words: []word.Word{word.FromInt(5)},
+		ACL: acl.List{
+			{User: "alice", Read: true, Brackets: core.Brackets{R1: 4, R2: 5, R3: 5}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := s.Spawn("mallory-p", "mallory", "prog", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(50, 100); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Trap == nil || !strings.Contains(pm.Trap.Error(), "missing segment") {
+		t.Errorf("mallory's trap: %v", pm.Trap)
+	}
+}
+
+func TestContextSwitchPreservesState(t *testing.T) {
+	// Two compute loops with tiny quanta: each must finish with its own
+	// correct result despite interleaving.
+	s := proc.NewSystem(proc.Config{})
+	// The loop keeps its accumulator and counter in the process's
+	// PRIVATE ring-4 stack frame (pr6|2, pr6|3): the code segment is
+	// shared among the processes, the working storage is not — the
+	// pure-procedure-plus-per-process-stack discipline of the paper.
+	prog, err := asm.Assemble(sup.GateSource + `
+        .seg    adder
+        .bracket 4,4,4
+        lia     0
+        sta     pr6|2           ; acc, in the private stack frame
+        lia     200
+        sta     pr6|3           ; n
+loop:   lda     pr6|2
+        aia     1
+        sta     pr6|2
+        lda     pr6|3
+        aia     -1
+        sta     pr6|3
+        tnz     loop
+        lda     pr6|2
+        stic    pr6|0,+1
+        call    sysgates$exit   ; exit code = 200
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ps []*proc.Process
+	for _, name := range []string{"p1", "p2", "p3"} {
+		p, err := s.Spawn(name, "u-"+name, "adder", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	if err := s.Schedule(7, 100000); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if !p.Exited {
+			t.Fatalf("%s: %+v trap=%v", p.Name, p, p.Trap)
+		}
+		if p.ExitCode != 200 {
+			t.Errorf("%s exit = %d, want 200 (state corrupted by context switches?)",
+				p.Name, p.ExitCode)
+		}
+		if p.Slices < 10 {
+			t.Errorf("%s finished in %d slices; no real interleaving", p.Name, p.Slices)
+		}
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	s := proc.NewSystem(proc.Config{})
+	if _, err := s.Spawn("p", "u", "ghost", 4); err == nil {
+		t.Error("spawn into unknown segment accepted")
+	}
+	if _, err := s.AddShared(proc.SharedDef{Name: "", Size: 4}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.AddShared(proc.SharedDef{Name: "z"}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := s.AddShared(proc.SharedDef{Name: "a", Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddShared(proc.SharedDef{Name: "a", Size: 4}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+// TestInterruptDrivenScheduling runs the same isolation workload under
+// the timer-interrupt scheduler: preemption arrives through the trap
+// machinery instead of a step limit, and every process still computes
+// its own correct result.
+func TestInterruptDrivenScheduling(t *testing.T) {
+	s := proc.NewSystem(proc.Config{})
+	prog, err := asm.Assemble(sup.GateSource + `
+        .seg    adder
+        .bracket 4,4,4
+        lia     0
+        sta     pr6|2
+        lia     150
+        sta     pr6|3
+loop:   lda     pr6|2
+        aia     1
+        sta     pr6|2
+        lda     pr6|3
+        aia     -1
+        sta     pr6|3
+        tnz     loop
+        lda     pr6|2
+        stic    pr6|0,+1
+        call    sysgates$exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ps []*proc.Process
+	for _, name := range []string{"a", "b"} {
+		p, err := s.Spawn(name, "u-"+name, "adder", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	if err := s.ScheduleInterrupts(9, 100000); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if !p.Exited || p.ExitCode != 150 {
+			t.Fatalf("%s: exited=%v code=%d trap=%v", p.Name, p.Exited, p.ExitCode, p.Trap)
+		}
+		if p.Slices < 10 {
+			t.Errorf("%s ran in %d slices; no preemption happened", p.Name, p.Slices)
+		}
+	}
+}
+
+// TestPerUserGateExtension reproduces the paper's administrator-gate
+// example: "Some gates into ring 1 are accessible to procedures
+// executing in rings 2-5 in the processes of selected users, but are
+// not accessible at all from the processes of other users" — the gate
+// extension comes from each user's ACL entry, so the same gate segment
+// is callable from ring 4 in the admin's process and closed in the
+// clerk's.
+func TestPerUserGateExtension(t *testing.T) {
+	s := proc.NewSystem(proc.Config{})
+	prog, err := asm.Assemble(`
+        .seg    regusers
+        .bracket 1,1,1          ; overridden per user by the ACL below
+        .gate   register
+register: eap5  *pr0|0
+        spr6    pr5|0
+        lia     1
+        eap6    *pr5|0
+        return  *pr6|0
+
+        .seg    tryit
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    regusers$register
+        hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, func(segName string) acl.List {
+		if segName == "regusers" {
+			return acl.List{
+				// The administrator may call the gate from rings 2-5.
+				{User: "admin", Read: true, Execute: true,
+					Brackets: core.Brackets{R1: 1, R2: 1, R3: 5}},
+				// Everyone else holds the segment with NO gate
+				// extension: callable from ring 1 only, i.e. never from
+				// user rings.
+				{User: "*", Read: true, Execute: true,
+					Brackets: core.Brackets{R1: 1, R2: 1, R3: 1}},
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	admin, err := s.Spawn("admin-p", "admin", "tryit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clerk, err := s.Spawn("clerk-p", "clerk", "tryit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(50, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if admin.Trap != nil {
+		t.Errorf("admin's call failed: %v", admin.Trap)
+	}
+	if clerk.Trap == nil {
+		t.Error("clerk reached the registration gate")
+	} else if !strings.Contains(clerk.Trap.Error(), "gate extension") {
+		t.Errorf("clerk's trap: %v", clerk.Trap)
+	}
+}

@@ -1,0 +1,382 @@
+// Package softring implements the paper's baseline: rings in software
+// on a processor without ring hardware, the way the initial Multics ran
+// on the Honeywell 645.
+//
+// The 645 provided segmentation with per-segment read/write/execute
+// flags but no ring numbers, no effective-ring computation and no
+// ring-crossing CALL/RETURN. Multics therefore kept a separate
+// descriptor segment per ring: the descriptor segment for ring r grants
+// exactly the access ring r should have, with plain flags. Crossing
+// rings meant faulting into the supervisor, which validated the gate
+// against its own tables, swapped the descriptor base register to the
+// target ring's descriptor segment, performed software argument
+// validation, and transferred — and did it all again on the way back.
+//
+// This package reproduces that arrangement on the same simulated
+// processor and — crucially — against the same machine images: a
+// program assembled for the hardware-ring machine runs unmodified on
+// the software-ring machine. The hardware ring checks are neutralized
+// by running every descriptor segment wide open (all brackets 7, gate
+// count = bound) at a fixed hardware ring of 7, so the per-ring flags
+// are the only protection, exactly as on the 645. The experiment
+// harness (T1/T2/T3) then compares crossing costs between the two
+// machines.
+package softring
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/seg"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// Software path lengths, in simulated cycles, charged on top of the
+// hardware trap cost. They model the 645-era supervisor's ring-crossing
+// code: gate lookup and validation, descriptor base swap, stack setup,
+// and bookkeeping for the eventual return.
+const (
+	// CycGatekeeper is charged for every software ring crossing (call
+	// or return leg).
+	CycGatekeeper = 250
+	// CycArgValidate is charged per argument word the gatekeeper
+	// validates on a crossing (the software equivalent of the effective
+	// ring mechanism, which validates arguments for free).
+	CycArgValidate = 30
+)
+
+// hardwareRing is the fixed ring the processor executes in: with all
+// brackets at 7, every flag-permitted access validates at ring 7, so
+// the hardware ring machinery is inert.
+const hardwareRing = core.Ring(7)
+
+// policy is the supervisor's own record of a segment's ring brackets —
+// the information the hardware machine keeps in SDWs, kept in software
+// tables here (as the initial Multics did).
+type policy struct {
+	brackets core.Brackets
+	gates    uint32
+	execute  bool
+	read     bool
+	write    bool
+	bound    uint32
+}
+
+// softReturn is a pending cross-ring return the gatekeeper must honour.
+type softReturn struct {
+	callerRing core.Ring
+	retSeg     uint32
+	retWord    uint32
+}
+
+// Machine is a software-ring machine wrapped around a standard image.
+type Machine struct {
+	Img *image.Image
+	CPU *cpu.CPU
+
+	// Ring is the current software ring of execution.
+	Ring core.Ring
+
+	// ArgWords, when positive, makes the gatekeeper validate that many
+	// argument words through PR1 on every downward crossing, charging
+	// CycArgValidate each — the software argument validation the
+	// hardware scheme eliminates.
+	ArgWords int
+
+	// Crossings counts software ring crossings (each call or return
+	// leg).
+	Crossings int
+	// Audit records gatekeeper decisions.
+	Audit []string
+
+	policies map[uint32]policy
+	dsAddr   [core.NumRings]uint32 // descriptor segment base per ring
+	dsBound  uint32
+	retStack []softReturn
+	// Exited/ExitCode mirror the hardware supervisor's clean exit so
+	// benches can use the same program shapes.
+	Exited   bool
+	ExitCode int64
+}
+
+var _ cpu.TrapHandler = (*Machine)(nil)
+
+// Wrap converts a standard hardware-ring image into a software-ring
+// machine. The image's master descriptor segment supplies the policy
+// tables; eight per-ring descriptor segments are materialized in spare
+// core; the CPU is re-pointed at them and its trap handler replaced by
+// the gatekeeper.
+func Wrap(img *image.Image) (*Machine, error) {
+	m := &Machine{
+		Img:      img,
+		CPU:      img.CPU,
+		policies: map[uint32]policy{},
+	}
+	c := img.CPU
+	master := seg.Table{Mem: c.Mem, DBR: c.DBR}
+	m.dsBound = c.DBR.Bound
+
+	// Read every master SDW into the software policy table.
+	sdws := make([]seg.SDW, m.dsBound)
+	for segno := uint32(0); segno < m.dsBound; segno++ {
+		sdw, err := master.Fetch(segno)
+		if err != nil {
+			return nil, err
+		}
+		sdws[segno] = sdw
+		if sdw.Present {
+			m.policies[segno] = policy{
+				brackets: sdw.Brackets,
+				gates:    sdw.Gate,
+				execute:  sdw.Execute,
+				read:     sdw.Read,
+				write:    sdw.Write,
+				bound:    sdw.Bound,
+			}
+		}
+	}
+
+	// Materialize the eight per-ring descriptor segments.
+	for r := core.Ring(0); r < core.NumRings; r++ {
+		base, err := img.Alloc.Alloc(int(m.dsBound) * 2)
+		if err != nil {
+			return nil, fmt.Errorf("softring: allocating ring-%d descriptor segment: %w", r, err)
+		}
+		m.dsAddr[r] = uint32(base)
+		tbl := seg.Table{Mem: c.Mem, DBR: seg.DBR{Addr: uint32(base), Bound: m.dsBound}}
+		for segno := uint32(0); segno < m.dsBound; segno++ {
+			sdw := sdws[segno]
+			if !sdw.Present {
+				continue
+			}
+			flat := flatten(sdw, r)
+			if err := tbl.Store(segno, flat); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	c.Handler = m
+	c.Services = nil
+	return m, nil
+}
+
+// flatten projects a bracketed SDW onto the plain-flag descriptor for
+// ring r: the flags encode exactly what ring r may do, the brackets are
+// fully open, and the gate list covers the whole segment (the 645 had
+// no hardware gate check; gates are the gatekeeper's business).
+func flatten(sdw seg.SDW, r core.Ring) seg.SDW {
+	v := sdw.View()
+	return seg.SDW{
+		Present:  true,
+		Addr:     sdw.Addr,
+		Bound:    sdw.Bound,
+		Read:     v.Permits(core.AccessRead, r),
+		Write:    v.Permits(core.AccessWrite, r),
+		Execute:  v.Permits(core.AccessExecute, r),
+		Brackets: core.Brackets{R1: 7, R2: 7, R3: 7},
+		Gate:     sdw.Bound,
+	}
+}
+
+// Start begins execution in the given software ring at segName|wordno.
+func (m *Machine) Start(ring core.Ring, segName string, wordno uint32) error {
+	// image.Start establishes the standard register and stack-frame
+	// conventions (including reserving the initial frame in the stack
+	// counter); the ring fields are then flattened to the fixed
+	// hardware ring, since on this machine the software variable is
+	// the ring of record.
+	if err := m.Img.Start(ring, segName, wordno); err != nil {
+		return err
+	}
+	m.Ring = ring
+	m.switchDS(ring)
+	c := m.CPU
+	c.IPR.Ring = hardwareRing
+	c.PR[cpu.StackPtrPR].Ring = hardwareRing
+	c.PR[cpu.StackBasePR].Ring = hardwareRing
+	return nil
+}
+
+// Run executes until halt, unrecovered trap, or the step limit.
+func (m *Machine) Run(limit int) (cpu.StopReason, error) {
+	return m.CPU.Run(limit)
+}
+
+// switchDS points the DBR at ring r's descriptor segment — the software
+// ring switch's central (and costly) act.
+func (m *Machine) switchDS(r core.Ring) {
+	m.CPU.DBR = seg.DBR{Addr: m.dsAddr[r], Bound: m.dsBound}
+	m.CPU.FlushSDWCache() // the software ring switch's hidden cost
+}
+
+func (m *Machine) auditf(format string, args ...interface{}) {
+	m.Audit = append(m.Audit, fmt.Sprintf(format, args...))
+}
+
+// HandleTrap is the 645-style supervisor: every cross-ring transfer
+// arrives here as an access violation.
+func (m *Machine) HandleTrap(c *cpu.CPU, t *trap.Trap) cpu.TrapAction {
+	if t.Code != trap.AccessViolation || t.Violation == nil {
+		m.auditf("fatal trap: %v", t)
+		return cpu.TrapHalt
+	}
+	saved := c.PeekSaved()
+	if saved == nil || saved.Trap != t {
+		return cpu.TrapHalt
+	}
+	insWord, err := m.readWordAt(saved.IPR.Segno, saved.IPR.Wordno)
+	if err != nil {
+		return cpu.TrapHalt
+	}
+	ins := isa.DecodeInstruction(insWord)
+	switch {
+	case t.Violation.Kind == core.ViolationNoExecute && ins.Op == isa.CALL:
+		return m.gatekeeperCall(c, t)
+	case t.Violation.Kind == core.ViolationNoExecute && ins.Op == isa.RET:
+		return m.gatekeeperReturn(c, t, true)
+	case t.Violation.Kind == core.ViolationNoRead && ins.Op == isa.RET:
+		// An upward-called procedure returning: its RETURN cannot even
+		// read the lower-ring caller's frame, so the effective address
+		// never completes. The gatekeeper honours the recorded return
+		// gate, provided the faulting read was indeed aimed at the
+		// caller's stack.
+		if len(m.retStack) > 0 &&
+			t.OperandSeg == uint32(m.retStack[len(m.retStack)-1].callerRing) {
+			return m.gatekeeperReturn(c, t, false)
+		}
+		m.auditf("unreadable-operand violation outside return protocol: %v", t)
+		return cpu.TrapHalt
+	default:
+		m.auditf("violation outside call/return: %v", t)
+		return cpu.TrapHalt
+	}
+}
+
+// gatekeeperCall performs the software ring-crossing call.
+func (m *Machine) gatekeeperCall(c *cpu.CPU, t *trap.Trap) cpu.TrapAction {
+	c.AddCycles(CycGatekeeper)
+	m.Crossings++
+	target := t.OperandSeg
+	pol, ok := m.policies[target]
+	if !ok || !pol.execute {
+		m.auditf("call into non-executable segment %o", target)
+		return cpu.TrapHalt
+	}
+	caller := m.Ring
+	var newRing core.Ring
+	switch {
+	case caller > pol.brackets.R2:
+		// Downward call: gate extension and gate list checks, in
+		// software.
+		if caller > pol.brackets.R3 {
+			m.auditf("ring %d above gate extension of segment %o", caller, target)
+			return cpu.TrapHalt
+		}
+		if t.OperandWord >= pol.gates {
+			m.auditf("call to non-gate word %o of segment %o", t.OperandWord, target)
+			return cpu.TrapHalt
+		}
+		newRing = pol.brackets.R2
+	case caller < pol.brackets.R1:
+		// Upward call.
+		newRing = pol.brackets.R1
+	default:
+		// The target is executable in the caller's ring, yet the
+		// per-ring descriptor faulted: inconsistent tables.
+		m.auditf("descriptor/policy mismatch for segment %o", target)
+		return cpu.TrapHalt
+	}
+
+	saved := c.PeekSaved()
+
+	// Software argument validation: check read access to each argument
+	// word through PR1 against the CALLER's descriptor segment.
+	if m.ArgWords > 0 {
+		pr1 := saved.PR[cpu.ArgListPR]
+		for i := 0; i < m.ArgWords; i++ {
+			c.AddCycles(CycArgValidate)
+			argPol, ok := m.policies[pr1.Segno]
+			if !ok || !argPol.read || !argPol.brackets.InReadBracket(caller) {
+				m.auditf("argument list not readable by ring %d", caller)
+				return cpu.TrapHalt
+			}
+		}
+	}
+
+	// Record the return gate: the caller's return point, saved by its
+	// stic at frame word 0.
+	pr6 := saved.PR[cpu.StackPtrPR]
+	retInd, err := m.readWordAt(pr6.Segno, pr6.Wordno)
+	if err != nil {
+		m.auditf("cannot read caller frame: %v", err)
+		return cpu.TrapHalt
+	}
+	ret := isa.DecodeIndirect(retInd)
+	m.retStack = append(m.retStack, softReturn{
+		callerRing: caller,
+		retSeg:     ret.Segno,
+		retWord:    ret.Wordno,
+	})
+
+	// Perform the switch: descriptor base swap, ring variable, stack
+	// base, transfer.
+	if err := c.DropSaved(); err != nil {
+		return cpu.TrapHalt
+	}
+	m.Ring = newRing
+	m.switchDS(newRing)
+	c.PR[cpu.StackBasePR] = cpu.Pointer{Ring: hardwareRing, Segno: uint32(newRing), Wordno: 0}
+	c.IPR = cpu.Pointer{Ring: hardwareRing, Segno: target, Wordno: t.OperandWord}
+	m.auditf("software crossing: call ring %d -> %d, target (%o|%o)",
+		caller, newRing, target, t.OperandWord)
+	return cpu.TrapResume
+}
+
+// gatekeeperReturn performs the software cross-ring return. verify is
+// false only for the upward-call return leg, where the effective
+// address never completed and the recorded gate is authoritative.
+func (m *Machine) gatekeeperReturn(c *cpu.CPU, t *trap.Trap, verify bool) cpu.TrapAction {
+	c.AddCycles(CycGatekeeper)
+	m.Crossings++
+	if len(m.retStack) == 0 {
+		m.auditf("cross-ring return with empty return stack")
+		return cpu.TrapHalt
+	}
+	top := m.retStack[len(m.retStack)-1]
+	if verify && (t.OperandSeg != top.retSeg || t.OperandWord != top.retWord) {
+		m.auditf("return target (%o|%o) does not match recorded gate (%o|%o)",
+			t.OperandSeg, t.OperandWord, top.retSeg, top.retWord)
+		return cpu.TrapHalt
+	}
+	m.retStack = m.retStack[:len(m.retStack)-1]
+	if err := c.DropSaved(); err != nil {
+		return cpu.TrapHalt
+	}
+	from := m.Ring
+	m.Ring = top.callerRing
+	m.switchDS(top.callerRing)
+	c.PR[cpu.StackBasePR] = cpu.Pointer{Ring: hardwareRing, Segno: uint32(top.callerRing), Wordno: 0}
+	c.IPR = cpu.Pointer{Ring: hardwareRing, Segno: top.retSeg, Wordno: top.retWord}
+	m.auditf("software crossing: return ring %d -> %d", from, top.callerRing)
+	return cpu.TrapResume
+}
+
+// readWordAt performs a supervisor-privilege read through the CURRENT
+// descriptor segment's addressing (addresses are ring-independent).
+func (m *Machine) readWordAt(segno, wordno uint32) (word.Word, error) {
+	pol, ok := m.policies[segno]
+	if !ok || wordno >= pol.bound {
+		return 0, fmt.Errorf("softring: read outside segment %o", segno)
+	}
+	tbl := seg.Table{Mem: m.CPU.Mem, DBR: m.CPU.DBR}
+	sdw, err := tbl.Fetch(segno)
+	if err != nil {
+		return 0, err
+	}
+	return m.CPU.Mem.Read(seg.Translate(sdw, wordno))
+}

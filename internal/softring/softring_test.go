@@ -1,0 +1,398 @@
+package softring_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/softring"
+)
+
+// The canonical cross-ring program: ring-4 caller, ring-1 gated
+// service, the paper's full calling convention. It runs unmodified on
+// both the hardware machine (asm tests prove that) and the software
+// machine (these tests).
+const crossRingSrc = `
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    service$serve
+        hlt
+
+        .seg    service
+        .bracket 1,1,5
+        .gate   serve
+serve:  eap5    pr0|1
+        spr6    pr5|0
+        lia     1234
+        eap6    *pr5|0
+        return  *pr6|0
+`
+
+func wrap(t *testing.T, src string, extra ...image.SegmentDef) *softring.Machine {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.BuildImage(image.Config{}, prog, extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := softring.Wrap(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSoftwareCrossRingCall(t *testing.T) {
+	m := wrap(t, crossRingSrc)
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, m.Audit)
+	}
+	if m.CPU.A.Int64() != 1234 {
+		t.Errorf("A = %d", m.CPU.A.Int64())
+	}
+	if m.Ring != 4 {
+		t.Errorf("final software ring %d, want 4", m.Ring)
+	}
+	// The whole point of the baseline: the crossing took TWO software
+	// interventions (call leg, return leg).
+	if m.Crossings != 2 {
+		t.Errorf("crossings = %d, want 2; audit: %v", m.Crossings, m.Audit)
+	}
+}
+
+func TestSoftwareSameRingCallNoCrossing(t *testing.T) {
+	m := wrap(t, `
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    peer$go
+        hlt
+
+        .seg    peer
+        .bracket 4,4,5
+        .gate   go
+go:     eap5    *pr0|0          ; same-ring call: frame from the counter,
+        spr6    pr5|0           ; not the fixed slot, which would collide
+        lia     7               ; with the caller's own frame
+        eap6    *pr5|0
+        return  *pr6|0
+`)
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, m.Audit)
+	}
+	if m.CPU.A.Int64() != 7 {
+		t.Errorf("A = %d", m.CPU.A.Int64())
+	}
+	// Same-ring calls do not enter the gatekeeper at all.
+	if m.Crossings != 0 {
+		t.Errorf("crossings = %d, want 0; audit: %v", m.Crossings, m.Audit)
+	}
+}
+
+func TestSoftwareGateEnforcement(t *testing.T) {
+	// Call aimed past the gate list: the software gatekeeper denies it.
+	m := wrap(t, `
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    *badlink
+        hlt
+badlink: .its   0, service$serve
+
+        .seg    service
+        .bracket 1,1,5
+        .gate   serve
+serve:  hlt
+`)
+	// Re-point badlink (word 3: stic, call, hlt, badlink) one word past
+	// the gate.
+	raw, err := m.Img.ReadWord("main", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Img.WriteWord("main", 3, raw.Deposit(0, 18, uint64(raw.Field(0, 18)+1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err == nil {
+		t.Fatal("non-gate call allowed")
+	}
+	found := false
+	for _, a := range m.Audit {
+		if strings.Contains(a, "non-gate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit: %v", m.Audit)
+	}
+}
+
+func TestSoftwareGateExtensionEnforcement(t *testing.T) {
+	m := wrap(t, `
+        .seg    main
+        .bracket 6,6,6
+        stic    pr6|0,+1
+        call    service$serve
+        hlt
+
+        .seg    service
+        .bracket 1,1,5
+        .gate   serve
+serve:  hlt
+`)
+	if err := m.Start(6, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err == nil {
+		t.Fatal("ring 6 crossed a gate with extension to 5")
+	}
+}
+
+func TestSoftwareArgumentValidationCharges(t *testing.T) {
+	m := wrap(t, crossRingSrc)
+	m.ArgWords = 3
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	// PR1 must point at a readable argument list; use main itself.
+	mainSeg, _ := m.Img.Segno("main")
+	m.CPU.PR[1].Segno = mainSeg
+	before := m.CPU.Cycles
+	if _, err := m.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, m.Audit)
+	}
+	withArgs := m.CPU.Cycles - before
+
+	m2 := wrap(t, crossRingSrc)
+	if err := m2.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	before = m2.CPU.Cycles
+	if _, err := m2.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	withoutArgs := m2.CPU.Cycles - before
+	if withArgs <= withoutArgs {
+		t.Errorf("argument validation free: %d vs %d cycles", withArgs, withoutArgs)
+	}
+	if withArgs-withoutArgs != 3*softring.CycArgValidate {
+		t.Errorf("arg validation delta %d, want %d", withArgs-withoutArgs, 3*softring.CycArgValidate)
+	}
+}
+
+func TestSoftwareUpwardCallAndReturn(t *testing.T) {
+	m := wrap(t, `
+        .seg    low
+        .bracket 1,1,1
+        lia     41
+        stic    pr6|0,+1
+        call    high$bump
+        hlt
+
+        .seg    high
+        .bracket 4,4,4
+        .gate   bump
+bump:   aia     1
+        return  *pr6|0
+`)
+	if err := m.Start(1, "low", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, m.Audit)
+	}
+	if m.CPU.A.Int64() != 42 {
+		t.Errorf("A = %d; audit: %v", m.CPU.A.Int64(), m.Audit)
+	}
+	if m.Ring != 1 {
+		t.Errorf("final ring %d", m.Ring)
+	}
+	if m.Crossings != 2 {
+		t.Errorf("crossings = %d", m.Crossings)
+	}
+}
+
+func TestSoftwarePerRingFlagsProtectData(t *testing.T) {
+	// Even without ring hardware, the per-ring descriptor segments
+	// enforce the bracket policy: ring-4 code cannot write a segment
+	// writable only through ring 3.
+	m := wrap(t, `
+        .seg    main
+        .bracket 4,4,4
+        lia     1
+        sta     *ptr
+        hlt
+ptr:    .its    4, guarded$base
+`,
+		image.SegmentDef{
+			Name: "guarded", Size: 4, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 3, R2: 5, R3: 5},
+		})
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err == nil {
+		t.Fatal("write permitted despite per-ring flags")
+	}
+	w, _ := m.Img.ReadWord("guarded", 0)
+	if !w.IsZero() {
+		t.Error("guarded word written")
+	}
+}
+
+func TestSoftwareCrossingCostsMoreThanHardware(t *testing.T) {
+	// The T1 claim, in miniature: the identical program crosses rings
+	// more cheaply on the hardware machine.
+	prog := asm.MustAssemble(crossRingSrc)
+	hwImg, err := asm.BuildImage(image.Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hwImg.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hwImg.CPU.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	hwCycles := hwImg.CPU.Cycles
+
+	m := wrap(t, crossRingSrc)
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	swCycles := m.CPU.Cycles
+
+	if swCycles <= 2*hwCycles {
+		t.Errorf("software rings suspiciously cheap: hw=%d sw=%d", hwCycles, swCycles)
+	}
+	if hwImg.CPU.A != m.CPU.A {
+		t.Error("machines disagree on the program result")
+	}
+}
+
+func TestSoftwareReturnTargetMismatch(t *testing.T) {
+	// A callee that forges a different return target than the recorded
+	// gate is refused.
+	m := wrap(t, `
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    service$serve
+        hlt
+        .entry  decoy
+decoy:  nop
+        hlt
+
+        .seg    service
+        .bracket 1,1,5
+        .gate   serve
+serve:  return  *forged         ; aims at decoy, not the recorded gate
+forged: .its    0, main$decoy
+`)
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err == nil {
+		t.Fatal("forged return target accepted")
+	}
+	found := false
+	for _, a := range m.Audit {
+		if strings.Contains(a, "does not match recorded gate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit: %v", m.Audit)
+	}
+}
+
+func TestSoftwareReturnWithEmptyStack(t *testing.T) {
+	// A cross-ring RETURN with no recorded crossing (the program never
+	// crossed) is refused.
+	m := wrap(t, `
+        .seg    rogue
+        .bracket 4,4,4
+        return  *target
+target: .its    0, sup$base
+
+        .seg    sup
+        .bracket 1,1,5
+        .gate   entry
+entry:  hlt
+`)
+	if err := m.Start(4, "rogue", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err == nil {
+		t.Fatal("unmatched cross-ring return accepted")
+	}
+	found := false
+	for _, a := range m.Audit {
+		if strings.Contains(a, "empty return stack") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit: %v", m.Audit)
+	}
+}
+
+func TestSoftwareViolationOutsideCallReturn(t *testing.T) {
+	// A plain TRA into another ring's code is not a sanctioned crossing:
+	// the gatekeeper refuses it.
+	m := wrap(t, `
+        .seg    main
+        .bracket 4,4,4
+        tra     *target
+target: .its    0, sup$base
+
+        .seg    sup
+        .bracket 1,1,5
+        .gate   entry
+entry:  hlt
+`)
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err == nil {
+		t.Fatal("TRA crossing accepted")
+	}
+	found := false
+	for _, a := range m.Audit {
+		if strings.Contains(a, "outside call/return") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit: %v", m.Audit)
+	}
+}
+
+func TestSoftwareExitedFieldsUnused(t *testing.T) {
+	// The baseline machine has no SVC services: documented behaviour.
+	m := wrap(t, crossRingSrc)
+	if m.Exited || m.ExitCode != 0 {
+		t.Error("fresh machine claims exit state")
+	}
+	if m.CPU.Services != nil {
+		t.Error("baseline machine has services")
+	}
+}

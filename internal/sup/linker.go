@@ -1,0 +1,135 @@
+package sup
+
+import (
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/trap"
+)
+
+// Dynamic linking. In Multics, inter-segment references begin life as
+// unsnapped link words; the first reference through one raises a
+// linkage fault, and the supervisor's linker resolves the symbolic
+// target, snaps the link in place, and resumes the faulting
+// instruction. Later references go straight through the snapped word at
+// full hardware speed. This file is that linker: asm.LinkDeferred
+// aims every inter-segment link word at an absent "fault segment" whose
+// word number carries the link's identity, and the missing-segment
+// handler below recognizes those faults and snaps.
+
+// CycLinkSnap is the simulated supervisor path length per link snap
+// (symbol lookup and patch).
+const CycLinkSnap = 180
+
+// lazyLinks is the per-process linkage table.
+type lazyLinks struct {
+	faultSegno uint32
+	table      []asm.DeferredLink
+	prog       *asm.Program
+	// Snapped counts resolved links.
+	snapped int
+}
+
+// RegisterLazyLinks installs a linkage-fault table: references through
+// link words aimed at faultSegno will be snapped on first use. The
+// image must be attached (Attach), since snapping patches link words by
+// segment name.
+func (s *Supervisor) RegisterLazyLinks(faultSegno uint32, prog *asm.Program, table []asm.DeferredLink) {
+	s.links = &lazyLinks{faultSegno: faultSegno, table: table, prog: prog}
+}
+
+// LinksSnapped reports how many links have been snapped so far.
+func (s *Supervisor) LinksSnapped() int {
+	if s.links == nil {
+		return 0
+	}
+	return s.links.snapped
+}
+
+// linkageFault recognizes and services a linkage fault. Returns
+// (action, true) when the trap was a linkage fault.
+func (s *Supervisor) linkageFault(c *cpu.CPU, t *trap.Trap) (cpu.TrapAction, bool) {
+	if s.links == nil || t.OperandSeg != s.links.faultSegno || s.Img == nil {
+		return cpu.TrapHalt, false
+	}
+	id := t.OperandWord
+	if int(id) >= len(s.links.table) {
+		s.auditf("linkage fault with bad link id %d", id)
+		return cpu.TrapHalt, true
+	}
+	d := s.links.table[id]
+	segno, wordno, err := asm.ResolveDeferred(s.Img, s.links.prog, d)
+	if err != nil {
+		s.auditf("linkage fault: %v", err)
+		return cpu.TrapHalt, true
+	}
+	raw, err := s.Img.ReadWord(d.OwnerSeg, d.Wordno)
+	if err != nil {
+		s.auditf("linkage fault: %v", err)
+		return cpu.TrapHalt, true
+	}
+	ind := isa.DecodeIndirect(raw)
+	ind.Segno = segno
+	ind.Wordno = wordno
+	if err := s.Img.WriteWord(d.OwnerSeg, d.Wordno, ind.Encode()); err != nil {
+		s.auditf("linkage fault: %v", err)
+		return cpu.TrapHalt, true
+	}
+	s.links.snapped++
+	c.AddCycles(CycLinkSnap)
+	s.auditf("link snapped: %s+%o -> %s$%s (%o|%o)",
+		d.OwnerSeg, d.Wordno, d.TargetSeg, symOrBase(d.TargetSym), segno, wordno)
+	if err := c.RestoreSaved(); err != nil {
+		return cpu.TrapHalt, true
+	}
+	return cpu.TrapResume, true
+}
+
+func symOrBase(sym string) string {
+	if sym == "" {
+		return "base"
+	}
+	return sym
+}
+
+// BootDeferred assembles source with the system gates, builds the
+// image, defers all inter-segment links, attaches a supervisor and
+// registers the linkage table — a dynamic-linking boot in one call.
+func BootDeferred(user, source string) (*Supervisor, *asm.Program, error) {
+	prog, err := asm.Assemble(GateSource + source)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Build WITHOUT the standard link step, then defer.
+	img, err := buildUnlinked(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The fault segment: the last descriptor slot, never allocated.
+	faultSegno := img.CPU.DBR.Bound - 1
+	table, err := asm.LinkDeferred(img, prog, faultSegno)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := Attach(img, user)
+	s.RegisterLazyLinks(faultSegno, prog, table)
+	return s, prog, nil
+}
+
+// buildUnlinked places the program's segments without resolving links.
+func buildUnlinked(prog *asm.Program) (*image.Image, error) {
+	var defs []image.SegmentDef
+	for _, ps := range prog.Segments {
+		defs = append(defs, image.SegmentDef{
+			Name:     ps.Name,
+			Words:    ps.Words,
+			Read:     ps.Read,
+			Write:    ps.Write,
+			Execute:  ps.Execute,
+			Brackets: ps.Brackets,
+			Gates:    ps.GateCount,
+		})
+	}
+	return image.Build(image.Config{}, defs)
+}

@@ -1,0 +1,153 @@
+package sup_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sup"
+)
+
+// TestDynamicLinking boots with every inter-segment link unsnapped and
+// verifies: the first reference through each link takes a linkage
+// fault and gets snapped; repeated references do not fault again; and
+// execution is correct throughout.
+func TestDynamicLinking(t *testing.T) {
+	s, prog, err := sup.BootDeferred("alice", `
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        lia     3
+        sta     pr6|2
+loop:   stic    pr6|0,+1
+        call    adder$bump      ; unsnapped on the first iteration
+        lda     pr6|2
+        aia     -1
+        sta     pr6|2
+        tnz     loop
+        lda     data$value      ; a second distinct link
+        stic    pr6|0,+1
+        call    sysgates$exit
+
+        .seg    adder
+        .bracket 1,1,5
+        .gate   bump
+bump:   eap5    *pr0|0
+        spr6    pr5|0
+        eap6    *pr5|0
+        return  *pr6|0
+
+        .seg    data
+        .access rw
+        .entry  value
+value:  .word   321
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+	if err := s.Img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Img.CPU.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, s.Audit)
+	}
+	if !s.Exited || s.ExitCode != 321 {
+		t.Fatalf("exit: %v %d; audit %v", s.Exited, s.ExitCode, s.Audit)
+	}
+	// Three calls through adder$bump, one exit link, one data link, and
+	// the sysgates links used by the exit path: each distinct link
+	// snapped exactly ONCE despite repeated use.
+	snaps := 0
+	for _, a := range s.Audit {
+		if strings.Contains(a, "link snapped") {
+			snaps++
+		}
+	}
+	if snaps != s.LinksSnapped() {
+		t.Errorf("audit snaps %d != counter %d", snaps, s.LinksSnapped())
+	}
+	// main uses exactly 3 links: adder$bump, data$value, sysgates$exit.
+	if s.LinksSnapped() != 3 {
+		t.Errorf("snapped %d links, want 3 (each snapped once)", s.LinksSnapped())
+	}
+}
+
+func TestDeferredLinksUnusedStayUnsnapped(t *testing.T) {
+	s, _, err := sup.BootDeferred("alice", `
+        .seg    main
+        .bracket 4,4,4
+        lia     0
+        stic    pr6|0,+1
+        call    sysgates$exit
+        call    ghostlib$never  ; present but never executed
+
+        .seg    ghostlib
+        .bracket 4,4,5
+        .gate   never
+never:  hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Img.CPU.Run(1000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, s.Audit)
+	}
+	if !s.Exited {
+		t.Fatal("no exit")
+	}
+	if s.LinksSnapped() != 1 { // only sysgates$exit
+		t.Errorf("snapped %d, want 1", s.LinksSnapped())
+	}
+}
+
+func TestLinkageFaultErrorPaths(t *testing.T) {
+	// A missing-segment fault aimed at the fault segment with a bad
+	// link id halts with an audit record.
+	s, _, err := sup.BootDeferred("alice", `
+        .seg    main
+        .bracket 4,4,4
+        lda     *bogus
+        hlt
+bogus:  .its    4, 0            ; patched to the fault segment, bad id
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultSegno := s.Img.CPU.DBR.Bound - 1
+	raw, _ := s.Img.ReadWord("main", 2)
+	patched := raw.Deposit(18, 14, uint64(faultSegno)).Deposit(0, 18, 9999)
+	if err := s.Img.WriteWord("main", 2, patched); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Img.CPU.Run(100); err == nil {
+		t.Fatal("bad link id accepted")
+	}
+	found := false
+	for _, a := range s.Audit {
+		if strings.Contains(a, "bad link id") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit: %v", s.Audit)
+	}
+}
+
+func TestBootDeferredBadSource(t *testing.T) {
+	if _, _, err := sup.BootDeferred("alice", "frob\n"); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestLinksSnappedWithoutTable(t *testing.T) {
+	s := sup.New("x")
+	if s.LinksSnapped() != 0 {
+		t.Error("phantom snaps")
+	}
+}

@@ -1,0 +1,594 @@
+package sup_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/sup"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// boot assembles the system gates plus the given user source, links,
+// and attaches a supervisor. The assembled program is returned so tests
+// can consult symbol tables.
+func boot(t *testing.T, user, src string, extra ...image.SegmentDef) (*image.Image, *sup.Supervisor, *asm.Program) {
+	t.Helper()
+	prog, err := asm.Assemble(sup.GateSource + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.BuildImage(image.Config{}, prog, extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, sup.Attach(img, user), prog
+}
+
+// runToExit starts the program and expects a clean exit through the
+// exit service.
+func runToExit(t *testing.T, img *image.Image, s *sup.Supervisor, ring core.Ring, segName string) {
+	t.Helper()
+	if err := img.Start(ring, segName, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, s.Audit)
+	}
+	if !s.Exited {
+		t.Fatalf("program did not exit cleanly; audit: %v", s.Audit)
+	}
+}
+
+func TestSupervisorGateServices(t *testing.T) {
+	img, s, _ := boot(t, "alice", `
+        .seg    main
+        .bracket 4,4,4
+        lia     72              ; 'H'
+        stic    pr6|0,+1
+        call    sysgates$putchar
+        lia     105             ; 'i'
+        stic    pr6|0,+1
+        call    sysgates$putchar
+        lia     7
+        stic    pr6|0,+1
+        call    sysgates$putnum
+        lia     0
+        call    sysgates$exit
+`)
+	runToExit(t, img, s, 4, "main")
+	if got := s.Console.String(); got != "Hi7\n" {
+		t.Errorf("console: %q", got)
+	}
+	if s.ExitCode != 0 {
+		t.Errorf("exit code %d", s.ExitCode)
+	}
+}
+
+func TestGetRingReportsCallerRing(t *testing.T) {
+	img, s, _ := boot(t, "alice", `
+        .seg    main
+        .bracket 3,3,3
+        stic    pr6|0,+1
+        call    sysgates$getring
+        call    sysgates$exit   ; exit code = ring
+`)
+	runToExit(t, img, s, 3, "main")
+	if s.ExitCode != 3 {
+		t.Errorf("reported ring %d, want 3", s.ExitCode)
+	}
+}
+
+func TestGatesClosedToRing6(t *testing.T) {
+	img, s, _ := boot(t, "alice", `
+        .seg    main
+        .bracket 6,6,6
+        lia     0
+        stic    pr6|0,+1
+        call    sysgates$exit
+`)
+	if err := img.Start(6, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(1000); err == nil {
+		t.Fatal("ring 6 reached a supervisor gate")
+	}
+	if s.Exited {
+		t.Fatal("exit service ran for ring 6")
+	}
+	found := false
+	for _, a := range s.Audit {
+		if strings.Contains(a, "access violation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no violation audited: %v", s.Audit)
+	}
+}
+
+func TestSetBracketsSoleOccupant(t *testing.T) {
+	// A ring-4 program asks the supervisor to open a segment down to
+	// ring 2 (denied by the sole-occupant rule), then up to ring 5
+	// (permitted).
+	img, s, prog := boot(t, "alice", `
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        lix0    0               ; victim segno, patched by the test
+        lda     grantlow
+        stic    pr6|0,+1
+        call    sysgates$setbrackets
+        sta     firstres
+        lix0    0               ; patched again
+        lda     grantok
+        stic    pr6|0,+1
+        call    sysgates$setbrackets
+        lda     firstres        ; exit with the FIRST (denied) result
+        call    sysgates$exit
+grantlow: .word 0
+grantok:  .word 0
+firstres: .word 99
+`,
+		image.SegmentDef{
+			Name: "victim", Size: 8, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 4, R2: 4, R3: 4},
+		})
+	victim, err := img.Segno("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := prog.Segment("main").Symbols
+	patch := func(name string, w word.Word) {
+		t.Helper()
+		if err := img.WriteWord("main", syms[name], w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	patch("grantlow", sup.PackBrackets(true, true, false, core.Brackets{R1: 2, R2: 4, R3: 4}))
+	patch("grantok", sup.PackBrackets(true, true, false, core.Brackets{R1: 4, R2: 5, R3: 5}))
+	// Both lix0 instructions need the victim segno as their operand.
+	for w := uint32(0); w < uint32(len(prog.Segment("main").Words)); w++ {
+		raw, err := img.ReadWord("main", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw.Field(27, 9) == 0o023 { // LIX
+			if err := img.WriteWord("main", w, raw.Deposit(0, 18, uint64(victim))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runToExit(t, img, s, 4, "main")
+	if s.ExitCode != -1 {
+		t.Errorf("low grant not denied: exit %d; audit %v", s.ExitCode, s.Audit)
+	}
+	sdw, err := img.SDW(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdw.Brackets.R2 != 5 || sdw.Brackets.R1 != 4 {
+		t.Errorf("permitted change did not take effect: %v", sdw)
+	}
+}
+
+func TestUpwardCallAndDownwardReturn(t *testing.T) {
+	// Ring-1 code calls a ring-4 procedure (upward), which computes
+	// A+1 and returns (downward). Both crossings are software-mediated.
+	img, s, _ := boot(t, "alice", `
+        .seg    low
+        .bracket 1,1,1
+        lia     41
+        stic    pr6|0,+1
+        call    high$bump       ; upward call: trap + mediation
+        hlt                     ; back in ring 1 with A = 42
+
+        .seg    high
+        .bracket 4,4,4
+        .gate   bump
+bump:   aia     1
+        return  *pr6|0          ; downward return: trap + mediation
+`)
+	if err := img.Start(1, "low", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, s.Audit)
+	}
+	if img.CPU.A.Int64() != 42 {
+		t.Errorf("A = %d, want 42; audit: %v", img.CPU.A.Int64(), s.Audit)
+	}
+	if img.CPU.IPR.Ring != 1 {
+		t.Errorf("final ring %d, want 1", img.CPU.IPR.Ring)
+	}
+	var up, down int
+	for _, a := range s.Audit {
+		if strings.Contains(a, "upward call mediated") {
+			up++
+		}
+		if strings.Contains(a, "downward return completed") {
+			down++
+		}
+	}
+	if up != 1 || down != 1 {
+		t.Errorf("mediations: up=%d down=%d; audit: %v", up, down, s.Audit)
+	}
+}
+
+func TestRecursiveUpwardCalls(t *testing.T) {
+	// Nested upward calls exercise the push-down behaviour of the
+	// return gate stack: ring 1 -> ring 3 -> ring 5, returning through
+	// both gates in LIFO order.
+	img, s, _ := boot(t, "alice", `
+        .seg    low
+        .bracket 1,1,1
+        lia     1
+        stic    pr6|0,+1
+        call    mid$step        ; up to ring 3
+        hlt                     ; A should be 111
+
+        .seg    mid
+        .bracket 3,3,3
+        .gate   step
+step:   aia     10
+        ; full frame protocol: mid makes a further call, so it must
+        ; allocate its own frame and repoint PR6 before its stic.
+        eap5    *pr0|0          ; PR5 := new frame from the counter
+        spr6    pr5|1           ; save incoming PR6 at frame+1
+        eap4    pr5|4
+        spr4    pr0|0           ; bump counter to frame+4
+        eap6    pr5|0           ; PR6 := my frame
+        stic    pr6|0,+1
+        call    upper$step      ; up again to ring 5
+        spr5    pr0|0           ; pop my frame
+        eap6    *pr5|1          ; restore incoming PR6 (ring-safe)
+        return  *pr6|0          ; down to ring 1
+
+        .seg    upper
+        .bracket 5,5,5
+        .gate   step
+step:   aia     100
+        return  *pr6|0          ; down to ring 3
+`)
+	if err := img.Start(1, "low", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, s.Audit)
+	}
+	if img.CPU.A.Int64() != 111 {
+		t.Errorf("A = %d, want 111; audit: %v", img.CPU.A.Int64(), s.Audit)
+	}
+	if img.CPU.IPR.Ring != 1 {
+		t.Errorf("final ring %d", img.CPU.IPR.Ring)
+	}
+}
+
+func TestDemandSegmentInitiation(t *testing.T) {
+	img, s, prog := boot(t, "alice", `
+        .seg    main
+        .bracket 4,4,4
+        lda     *ptr            ; segment fault -> initiate -> resume
+        call    sysgates$exit
+ptr:    .its    4, 0            ; patched below
+`)
+	segno, err := s.Reserve(&sup.OnlineSegment{
+		Name:     "shared",
+		Contents: []word.Word{word.FromInt(1234)},
+		ACL: acl.List{
+			{User: "alice", Read: true, Brackets: core.Brackets{R1: 4, R2: 5, R3: 5}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrOff := prog.Segment("main").Symbols["ptr"]
+	raw, _ := img.ReadWord("main", ptrOff)
+	if err := img.WriteWord("main", ptrOff, raw.Deposit(18, 14, uint64(segno))); err != nil {
+		t.Fatal(err)
+	}
+	runToExit(t, img, s, 4, "main")
+	if s.ExitCode != 1234 {
+		t.Errorf("exit code %d, want 1234 (the demand-loaded word)", s.ExitCode)
+	}
+}
+
+func TestDemandSegmentDeniedByACL(t *testing.T) {
+	img, s, prog := boot(t, "mallory", `
+        .seg    main
+        .bracket 4,4,4
+        lda     *ptr
+        call    sysgates$exit
+ptr:    .its    4, 0
+`)
+	segno, err := s.Reserve(&sup.OnlineSegment{
+		Name:     "private",
+		Contents: []word.Word{word.FromInt(5)},
+		ACL: acl.List{
+			{User: "alice", Read: true, Brackets: core.Brackets{R1: 4, R2: 5, R3: 5}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrOff := prog.Segment("main").Symbols["ptr"]
+	raw, _ := img.ReadWord("main", ptrOff)
+	if err := img.WriteWord("main", ptrOff, raw.Deposit(18, 14, uint64(segno))); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(1000); err == nil {
+		t.Fatal("mallory's reference succeeded")
+	}
+	if s.Exited {
+		t.Error("program exited cleanly")
+	}
+}
+
+func TestViolationSkipPolicy(t *testing.T) {
+	// The debugging-ring policy: report the violation and continue with
+	// the next instruction.
+	img, s, _ := boot(t, "alice", `
+        .seg    main
+        .bracket 5,5,5
+        lia     1
+        sta     *ptr            ; violation: writable only through ring 4
+        lia     7               ; still executed under the skip policy
+        call    sysgates$exit
+ptr:    .its    5, guarded$base
+`,
+		image.SegmentDef{
+			Name: "guarded", Size: 4, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 4, R2: 5, R3: 5},
+		})
+	var caught []*trap.Trap
+	s.OnViolation = func(tr *trap.Trap) bool {
+		caught = append(caught, tr)
+		return false // skip and continue
+	}
+	runToExit(t, img, s, 5, "main")
+	if len(caught) != 1 {
+		t.Fatalf("caught %d violations", len(caught))
+	}
+	if caught[0].Violation.Kind != core.ViolationWriteBracket {
+		t.Errorf("violation: %v", caught[0].Violation)
+	}
+	if s.ExitCode != 7 {
+		t.Errorf("exit code %d, want 7 (execution continued)", s.ExitCode)
+	}
+	// The guarded word was never written.
+	w, _ := img.ReadWord("guarded", 0)
+	if !w.IsZero() {
+		t.Error("guarded word was written despite the violation")
+	}
+}
+
+func TestUpwardCallPassesReturnValueInA(t *testing.T) {
+	img, s, _ := boot(t, "alice", `
+        .seg    low
+        .bracket 2,2,2
+        lia     5
+        stic    pr6|0,+1
+        call    calc$double
+        hlt
+
+        .seg    calc
+        .bracket 6,6,6
+        .gate   double
+double: ada     self            ; A = A + A via scratch
+        return  *pr6|0
+        .access rwe
+self:   .word   5
+`)
+	if err := img.Start(2, "low", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(10000); err != nil {
+		t.Fatalf("run: %v\naudit: %v", err, s.Audit)
+	}
+	if img.CPU.A.Int64() != 10 {
+		t.Errorf("A = %d, want 10", img.CPU.A.Int64())
+	}
+	if img.CPU.IPR.Ring != 2 {
+		t.Errorf("final ring %d", img.CPU.IPR.Ring)
+	}
+}
+
+func TestPackBracketsRoundTrip(t *testing.T) {
+	f := func(r1s, r2s, r3s uint8, rd, wr, ex bool) bool {
+		r1 := core.Ring(r1s % 8)
+		r2 := r1 + core.Ring(r2s%uint8(8-r1))
+		r3 := r2 + core.Ring(r3s%uint8(8-r2))
+		b := core.Brackets{R1: r1, R2: r2, R3: r3}
+		gr, gw, ge, gb := sup.UnpackBrackets(sup.PackBrackets(rd, wr, ex, b))
+		return gr == rd && gw == wr && ge == ex && gb == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateSourceShape(t *testing.T) {
+	prog, err := asm.Assemble(sup.GateSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Segment("sysgates")
+	if g == nil {
+		t.Fatal("no sysgates segment")
+	}
+	if g.GateCount != 8 {
+		t.Errorf("gate count %d, want 8", g.GateCount)
+	}
+	if g.Brackets != (core.Brackets{R1: 0, R2: 0, R3: 5}) {
+		t.Errorf("brackets %+v", g.Brackets)
+	}
+	for _, gate := range []string{"exit", "putchar", "putnum", "getcycles",
+		"audit", "setbrackets", "initiate", "getring"} {
+		if off, ok := g.Exports[gate]; !ok || off >= g.GateCount {
+			t.Errorf("gate %q: off=%d ok=%v", gate, off, ok)
+		}
+	}
+}
+
+func TestRemainingServices(t *testing.T) {
+	img, s, prog := boot(t, "alice", `
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        stic    pr6|0,+1
+        call    sysgates$getcycles
+        sta     cyc             ; nonzero cycle count
+        lia     55
+        stic    pr6|0,+1
+        call    sysgates$audit
+        lix0    9999            ; setbrackets on a nonexistent segment
+        lda     grant
+        stic    pr6|0,+1
+        call    sysgates$setbrackets
+        sta     res1            ; -1 expected
+        lix0    9999            ; initiate on an unreserved segment
+        stic    pr6|0,+1
+        call    sysgates$initiate
+        sta     res2            ; -1 expected
+        lda     cyc
+        call    sysgates$exit
+        .entry  cyc
+cyc:    .word   0
+        .entry  grant
+grant:  .word   0
+        .entry  res1
+res1:   .word   99
+        .entry  res2
+res2:   .word   99
+`)
+	grantOff := prog.Segment("main").Symbols["grant"]
+	if err := img.WriteWord("main", grantOff,
+		sup.PackBrackets(true, false, false, core.Brackets{R1: 4, R2: 5, R3: 5})); err != nil {
+		t.Fatal(err)
+	}
+	runToExit(t, img, s, 4, "main")
+	if s.ExitCode <= 0 {
+		t.Errorf("getcycles returned %d", s.ExitCode)
+	}
+	read := func(name string) int64 {
+		off := prog.Segment("main").Symbols[name]
+		w, err := img.ReadWord("main", off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Int64()
+	}
+	if read("res1") != -1 {
+		t.Errorf("setbrackets on missing segment: %d", read("res1"))
+	}
+	if read("res2") != -1 {
+		t.Errorf("initiate on unreserved segment: %d", read("res2"))
+	}
+	found := false
+	for _, a := range s.Audit {
+		if strings.Contains(a, "audit from ring 4: 55") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit record missing: %v", s.Audit)
+	}
+}
+
+func TestSetBracketsRejectsMalformed(t *testing.T) {
+	img, s, prog := boot(t, "alice", `
+        .seg    main
+        .bracket 4,4,4
+        .access rwe
+        lix0    0               ; patched
+        lda     grant
+        stic    pr6|0,+1
+        call    sysgates$setbrackets
+        call    sysgates$exit   ; exit = result
+        .entry  grant
+grant:  .word   0
+`,
+		image.SegmentDef{
+			Name: "victim", Size: 8, Read: true,
+			Brackets: core.Brackets{R1: 4, R2: 4, R3: 4},
+		})
+	victim, _ := img.Segno("victim")
+	// Malformed: R1 > R2 (but all >= caller ring, so sole-occupant
+	// passes and well-formedness must catch it).
+	grantOff := prog.Segment("main").Symbols["grant"]
+	bad := sup.PackBrackets(true, false, false, core.Brackets{R1: 6, R2: 5, R3: 7})
+	if err := img.WriteWord("main", grantOff, bad); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := img.ReadWord("main", 0)
+	if err := img.WriteWord("main", 0, raw.Deposit(0, 18, uint64(victim))); err != nil {
+		t.Fatal(err)
+	}
+	runToExit(t, img, s, 4, "main")
+	if s.ExitCode != -1 {
+		t.Errorf("malformed grant accepted: exit %d", s.ExitCode)
+	}
+}
+
+func TestUnknownServiceHalts(t *testing.T) {
+	img, s, _ := boot(t, "alice", `
+        .seg    zero
+        .bracket 0,0,0
+        svc     99
+        hlt
+`)
+	if err := img.Start(0, "zero", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.CPU.Run(100); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !img.CPU.Halted {
+		t.Error("machine not halted")
+	}
+	found := false
+	for _, a := range s.Audit {
+		if strings.Contains(a, "unknown service") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit: %v", s.Audit)
+	}
+}
+
+func TestReserveRequiresImage(t *testing.T) {
+	s := sup.New("alice")
+	if _, err := s.Reserve(&sup.OnlineSegment{Name: "x", Size: 4}); err == nil {
+		t.Error("Reserve without image accepted")
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	img, s, _ := boot(t, "alice", `
+        .seg    main
+        .bracket 4,4,4
+        hlt
+`)
+	_ = img
+	if _, err := s.Reserve(&sup.OnlineSegment{Name: "empty"}); err == nil {
+		t.Error("empty reserve accepted")
+	}
+	if _, err := s.Reserve(&sup.OnlineSegment{
+		Name: "badacl", Size: 4,
+		ACL: acl.List{{User: "", Brackets: core.Brackets{}}},
+	}); err == nil {
+		t.Error("bad ACL accepted")
+	}
+	if err := s.Initiate(12345); err == nil {
+		t.Error("initiate of unknown segno accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package trap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCodeStrings(t *testing.T) {
+	codes := []Code{
+		None, AccessViolation, UpwardCall, DownwardReturn, MissingSegment,
+		PrivilegedViolation, IllegalOpcode, StackFault, Supervisor, Halt,
+		IndirectLimit,
+	}
+	seen := map[string]bool{}
+	for _, c := range codes {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "trap(") {
+			t.Errorf("code %d has no name", c)
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Code(99).String(), "trap(") {
+		t.Error("unknown code string")
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	tr := &Trap{
+		Code:   AccessViolation,
+		Ring:   4,
+		Segno:  0o10,
+		Wordno: 0o5,
+		Violation: &core.Violation{
+			Kind: core.ViolationWriteBracket,
+			Ring: 4,
+		},
+	}
+	msg := tr.Error()
+	for _, want := range []string{"access violation", "write bracket", "(10|5)", "ring 4"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	bare := &Trap{Code: UpwardCall, Ring: 1, Segno: 2, Wordno: 3}
+	if !strings.Contains(bare.Error(), "upward call") {
+		t.Errorf("bare message: %q", bare.Error())
+	}
+}
+
+func TestFromViolation(t *testing.T) {
+	if got := FromViolation(&core.Violation{Kind: core.ViolationMissingSegment}); got != MissingSegment {
+		t.Errorf("missing segment mapped to %v", got)
+	}
+	for _, k := range []core.ViolationKind{
+		core.ViolationBound, core.ViolationNoRead, core.ViolationWriteBracket,
+		core.ViolationNotAGate, core.ViolationRingAlarm,
+	} {
+		if got := FromViolation(&core.Violation{Kind: k}); got != AccessViolation {
+			t.Errorf("%v mapped to %v", k, got)
+		}
+	}
+}

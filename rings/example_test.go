@@ -1,0 +1,99 @@
+package rings_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rings"
+)
+
+// The canonical session: a ring-4 program calling ring-0 supervisor
+// gates through ordinary CALL instructions.
+func ExampleNewSystem() {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice"}, rings.StdMacros+`
+        .seg    main
+        .bracket 4,4,4          ; this procedure executes in ring 4
+        lia     42
+        callg   sysgates$putnum ; downward call into ring 0, in hardware
+        lia     0
+        callg   sysgates$exit
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Console)
+	fmt.Println("exit:", res.ExitCode)
+	// Output:
+	// 42
+	// exit: 0
+}
+
+// The debugging-ring policy: catch an untested program's addressing
+// errors, report them, and keep going.
+func ExampleSystem_OnViolation() {
+	sys, err := rings.NewSystem(rings.SystemConfig{
+		Extra: []rings.SegmentDef{{
+			Name: "precious", Size: 4, Read: true, Write: true,
+			Brackets: rings.Brackets{R1: 4, R2: 5, R3: 5}, // ring 5 may not write
+		}},
+	}, rings.StdMacros+`
+        .seg    untested
+        .bracket 5,5,5
+        lia     1
+        sta     *wild           ; addressing bug
+        lia     0
+        callg   sysgates$exit
+wild:   .its    5, precious$base
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.OnViolation(func(t *rings.Trap) bool {
+		fmt.Println("caught:", t.Violation.Kind)
+		return false // skip the faulting instruction and continue
+	})
+	res, err := sys.Run(5, "untested")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("finished:", res.Exited)
+	// Output:
+	// caught: outside write bracket
+	// finished: true
+}
+
+// The same object code on the 645-style software-ring machine: every
+// ring crossing becomes a supervisor intervention.
+func ExampleBaseline() {
+	m, err := rings.Baseline(rings.SystemConfig{}, rings.StdMacros+`
+        .seg    main
+        .bracket 4,4,4
+        callg   svc$entry
+        hlt
+
+        .seg    svc
+        .bracket 1,1,5
+        .gate   entry
+entry:  leafenter
+        lia     7
+        leafexit
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Start(4, "main", 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", m.CPU.A.Int64())
+	fmt.Println("software crossings:", m.Crossings)
+	// Output:
+	// result: 7
+	// software crossings: 2
+}

@@ -1,0 +1,348 @@
+// Package rings is the public API of this reproduction of Schroeder
+// and Saltzer's "A Hardware Architecture for Implementing Protection
+// Rings" (SOSP 1971 / CACM 1972).
+//
+// It assembles programs written in the simulated machine's assembly
+// language, builds bootable machine images with ring-bracketed
+// segments, attaches the miniature supervisor, and runs them on either
+// of two machines:
+//
+//   - the hardware-ring machine, implementing the paper's processor
+//     (Figures 3-9): per-reference validation, effective rings,
+//     trap-free downward calls and upward returns;
+//   - the software-ring baseline, a Honeywell-645-style machine where
+//     rings exist only as per-ring descriptor segments and every
+//     crossing traps into a gatekeeper.
+//
+// A minimal session:
+//
+//	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice"}, src)
+//	res, err := sys.Run(4, "main")
+//	fmt.Print(res.Console)
+//
+// where src defines segments with .seg/.bracket/.gate directives and
+// calls supervisor services through the sysgates segment. See the
+// examples directory for complete programs.
+package rings
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/image"
+	"repro/internal/iosim"
+	"repro/internal/softring"
+	"repro/internal/sup"
+	"repro/internal/trace"
+	"repro/internal/trap"
+	"repro/internal/word"
+)
+
+// Re-exported fundamental types: these are the vocabulary of the
+// paper's mechanisms.
+type (
+	// Ring is a protection ring number, 0 (most privileged) through 7.
+	Ring = core.Ring
+	// Brackets is the R1 ≤ R2 ≤ R3 triple defining a segment's write,
+	// read and execute brackets and gate extension.
+	Brackets = core.Brackets
+	// SegmentDef describes a non-assembled segment added to an image.
+	SegmentDef = image.SegmentDef
+	// ACLEntry grants a user access to a segment with given brackets.
+	ACLEntry = acl.Entry
+	// ACL is a segment's access control list.
+	ACL = acl.List
+	// Trap is a processor trap.
+	Trap = trap.Trap
+	// Word is a 36-bit machine word.
+	Word = word.Word
+	// StackRule selects the CALL stack-segment numbering rule.
+	StackRule = cpu.StackRule
+)
+
+// Stack rules (Figure 8 and its footnote).
+const (
+	StackSegnoIsRing = cpu.StackSegnoIsRing
+	StackDBRBase     = cpu.StackDBRBase
+)
+
+// NumRings is the number of protection rings (eight, as in Multics).
+const NumRings = core.NumRings
+
+// SystemConfig configures a System.
+type SystemConfig struct {
+	// User is the user name the process acts for (ACL checks); default
+	// "user".
+	User string
+	// MemWords, MaxSegments, StackSize and StackRule configure the
+	// machine image; zero values take the package defaults.
+	MemWords    int
+	MaxSegments int
+	StackSize   int
+	StackRule   StackRule
+	// Validate disables the ring validation hardware when false and
+	// ValidateSet is true (the T5 ablation).
+	Validate    bool
+	ValidateSet bool
+	// Trace attaches an event trace buffer (retrievable via Trace).
+	Trace bool
+	// TraceLimit caps retained trace events (0 = unlimited).
+	TraceLimit int
+	// NoGates omits the standard sysgates supervisor gate segment.
+	NoGates bool
+	// Extra appends non-assembled segments to the image.
+	Extra []SegmentDef
+}
+
+// System is an assembled, supervised, ready-to-run machine.
+type System struct {
+	Img *image.Image
+	Sup *sup.Supervisor
+	// Prog is the assembled program (symbol tables, exports).
+	Prog *asm.Program
+
+	traceBuf *trace.Buffer
+}
+
+// NewSystem assembles source (plus, unless NoGates, the standard
+// supervisor gate segment), builds the machine image, links it, and
+// attaches the supervisor.
+func NewSystem(cfg SystemConfig, source string) (*System, error) {
+	if cfg.User == "" {
+		cfg.User = "user"
+	}
+	full := source
+	if !cfg.NoGates {
+		full = sup.GateSource + source
+	}
+	prog, err := asm.Assemble(full)
+	if err != nil {
+		return nil, err
+	}
+	var opt *cpu.Options
+	if cfg.ValidateSet {
+		o := cpu.DefaultOptions()
+		o.Validate = cfg.Validate
+		opt = &o
+	}
+	img, err := asm.BuildImage(image.Config{
+		MemWords:    cfg.MemWords,
+		MaxSegments: cfg.MaxSegments,
+		StackSize:   cfg.StackSize,
+		StackRule:   cfg.StackRule,
+		CPUOptions:  opt,
+	}, prog, cfg.Extra...)
+	if err != nil {
+		return nil, err
+	}
+	s := sup.Attach(img, cfg.User)
+	sys := &System{Img: img, Sup: s, Prog: prog}
+	if cfg.Trace {
+		sys.traceBuf = &trace.Buffer{Limit: cfg.TraceLimit}
+		img.CPU.Tracer = sys.traceBuf
+	}
+	return sys, nil
+}
+
+// RunResult summarizes an execution.
+type RunResult struct {
+	// Exited reports a clean exit through the exit service; ExitCode
+	// is its argument.
+	Exited   bool
+	ExitCode int64
+	// Halted reports a HLT stop (the other clean ending).
+	Halted bool
+	// Trap is the unrecovered trap that stopped the machine, if any.
+	Trap *Trap
+	// Console is the accumulated supervisor console output.
+	Console string
+	// Cycles and Steps are the simulated totals.
+	Cycles uint64
+	Steps  uint64
+	// FinalRing is the ring of execution at the stop.
+	FinalRing Ring
+	// A is the accumulator at the stop.
+	A int64
+}
+
+// Run starts execution at word 0 of the named segment in the given
+// ring and runs to completion (bounded by maxSteps; 0 means a generous
+// default).
+func (sys *System) Run(ring Ring, segName string) (*RunResult, error) {
+	return sys.RunAt(ring, segName, 0, 0)
+}
+
+// RunAt is Run with an explicit start word and step limit.
+func (sys *System) RunAt(ring Ring, segName string, wordno uint32, maxSteps int) (*RunResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	if err := sys.Img.Start(ring, segName, wordno); err != nil {
+		return nil, err
+	}
+	c := sys.Img.CPU
+	reason, err := c.Run(maxSteps)
+	res := &RunResult{
+		Exited:    sys.Sup.Exited,
+		ExitCode:  sys.Sup.ExitCode,
+		Console:   sys.Sup.Console.String(),
+		Cycles:    c.Cycles,
+		Steps:     c.Steps(),
+		FinalRing: c.IPR.Ring,
+		A:         c.A.Int64(),
+	}
+	if err != nil {
+		if t, ok := err.(*trap.Trap); ok {
+			res.Trap = t
+			return res, nil
+		}
+		return nil, err
+	}
+	if reason == cpu.StopLimit {
+		return nil, fmt.Errorf("rings: program exceeded %d steps", maxSteps)
+	}
+	res.Halted = !res.Exited
+	return res, nil
+}
+
+// CPU exposes the underlying processor for advanced use (registers,
+// options, cycle accounting).
+func (sys *System) CPU() *cpu.CPU { return sys.Img.CPU }
+
+// Audit returns the supervisor's audit records.
+func (sys *System) Audit() []string { return sys.Sup.Audit }
+
+// Trace returns the recorded trace text (empty unless SystemConfig.
+// Trace was set).
+func (sys *System) Trace() string {
+	if sys.traceBuf == nil {
+		return ""
+	}
+	return sys.traceBuf.String()
+}
+
+// OnViolation installs a violation policy: return true to halt
+// (default) or false to skip the faulting instruction and continue (the
+// debugging-ring policy).
+func (sys *System) OnViolation(f func(*Trap) bool) { sys.Sup.OnViolation = f }
+
+// Segno returns the segment number of a named segment.
+func (sys *System) Segno(name string) (uint32, error) { return sys.Img.Segno(name) }
+
+// ReadWord reads a word from a named segment with operator-console
+// privilege (no ring validation).
+func (sys *System) ReadWord(name string, wordno uint32) (Word, error) {
+	return sys.Img.ReadWord(name, wordno)
+}
+
+// WriteWord writes a word into a named segment with operator-console
+// privilege.
+func (sys *System) WriteWord(name string, wordno uint32, w Word) error {
+	return sys.Img.WriteWord(name, wordno, w)
+}
+
+// Symbol returns the word number of a label in an assembled segment.
+func (sys *System) Symbol(segName, label string) (uint32, error) {
+	s := sys.Prog.Segment(segName)
+	if s == nil {
+		return 0, fmt.Errorf("rings: no assembled segment %q", segName)
+	}
+	off, ok := s.Symbols[label]
+	if !ok {
+		return 0, fmt.Errorf("rings: segment %q has no label %q", segName, label)
+	}
+	return off, nil
+}
+
+// Reserve registers an on-line segment for demand initiation under ACL
+// control and returns its segment number.
+func (sys *System) Reserve(name string, contents []Word, size int, gates uint32, list ACL) (uint32, error) {
+	return sys.Sup.Reserve(&sup.OnlineSegment{
+		Name: name, Contents: contents, Size: size, Gates: gates, ACL: list,
+	})
+}
+
+// Baseline assembles the same kind of source for the 645-style
+// software-ring machine. Supervisor gates are not available there (the
+// baseline has no SVC services); programs end with hlt.
+func Baseline(cfg SystemConfig, source string) (*softring.Machine, error) {
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	img, err := asm.BuildImage(image.Config{
+		MemWords:    cfg.MemWords,
+		MaxSegments: cfg.MaxSegments,
+		StackSize:   cfg.StackSize,
+	}, prog, cfg.Extra...)
+	if err != nil {
+		return nil, err
+	}
+	return softring.Wrap(img)
+}
+
+// Assemble exposes the assembler for tooling (listings, symbol
+// inspection) without building an image.
+func Assemble(source string) (*asm.Program, error) { return asm.Assemble(source) }
+
+// StdMacros is the calling convention packaged as assembler macros
+// (leafenter/leafexit, procenter/procexit, callg); prepend it to
+// program source to use them.
+const StdMacros = asm.StdMacros
+
+// NewDeferredSystem is NewSystem with dynamic linking: every
+// inter-segment link word starts unsnapped and is resolved by linkage
+// fault on first reference, Multics style. The supervisor's audit log
+// records each snap; Sup.LinksSnapped() counts them.
+func NewDeferredSystem(user, source string) (*System, error) {
+	if user == "" {
+		user = "user"
+	}
+	s, prog, err := sup.BootDeferred(user, source)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Img: s.Img, Sup: s, Prog: prog}, nil
+}
+
+// PackBrackets encodes flags and brackets for the setbrackets
+// supervisor service.
+func PackBrackets(read, write, execute bool, b Brackets) Word {
+	return sup.PackBrackets(read, write, execute, b)
+}
+
+// I/O re-exports: the channel hardware behind the privileged SIO
+// instruction.
+type (
+	// IOController routes SIO control blocks to attached devices.
+	IOController = iosim.Controller
+	// Typewriter is the console device of the paper's conclusion
+	// example.
+	Typewriter = iosim.Typewriter
+)
+
+// AttachTypewriter connects a typewriter at the given device number,
+// creating the I/O controller if the machine has none, and returns it.
+func (sys *System) AttachTypewriter(devno uint32) *Typewriter {
+	ctl, ok := sys.Img.CPU.IO.(*iosim.Controller)
+	if !ok || ctl == nil {
+		ctl = iosim.NewController()
+		sys.Img.CPU.IO = ctl
+	}
+	tty := &iosim.Typewriter{}
+	ctl.Attach(devno, tty)
+	return tty
+}
+
+// MakeIOCB builds the two words of an I/O control block.
+func MakeIOCB(op, devno, count, bufSeg, bufWord uint32) (Word, Word) {
+	return iosim.MakeIOCB(op, devno, count, bufSeg, bufWord)
+}
+
+// PackChars and UnpackChars convert between text and the machine's
+// four-9-bit-characters-per-word convention.
+func PackChars(s string) []Word       { return iosim.PackChars(s) }
+func UnpackChars(words []Word) string { return iosim.UnpackChars(words) }

@@ -1,0 +1,397 @@
+package rings_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/rings"
+)
+
+const helloSrc = `
+        .seg    main
+        .bracket 4,4,4
+        lia     72              ; 'H'
+        stic    pr6|0,+1
+        call    sysgates$putchar
+        lia     0
+        call    sysgates$exit
+`
+
+func TestNewSystemAndRun(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice"}, helloSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.ExitCode != 0 {
+		t.Errorf("result: %+v", res)
+	}
+	if res.Console != "H" {
+		t.Errorf("console %q", res.Console)
+	}
+	if res.Cycles == 0 || res.Steps == 0 {
+		t.Error("no work accounted")
+	}
+}
+
+func TestRunReportsTrap(t *testing.T) {
+	sys2, err := rings.NewSystem(rings.SystemConfig{
+		Extra: []rings.SegmentDef{{
+			Name: "hidden", Size: 4, Read: true,
+			Brackets: rings.Brackets{R1: 0, R2: 1, R3: 1},
+		}},
+	}, `
+        .seg    main
+        .bracket 4,4,4
+        lda     *ptr
+        hlt
+ptr:    .its    4, hidden$base
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys2.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil {
+		t.Fatal("no trap reported")
+	}
+	if res.Exited || res.Halted {
+		t.Error("trap result marked clean")
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{Trace: true}, helloSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(4, "main"); err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.Trace()
+	if !strings.Contains(tr, "ring-switch") {
+		t.Errorf("trace missing ring switch:\n%s", tr)
+	}
+	if !strings.Contains(tr, "fetch") {
+		t.Error("trace missing fetches")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{}, `
+        .seg    main
+        .bracket 4,4,4
+        hlt
+val:    .word   5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := sys.Symbol("main", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.ReadWord("main", off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int64() != 5 {
+		t.Errorf("val = %d", w.Int64())
+	}
+	if _, err := sys.Symbol("main", "ghost"); err == nil {
+		t.Error("ghost symbol resolved")
+	}
+	if _, err := sys.Symbol("ghost", "val"); err == nil {
+		t.Error("ghost segment resolved")
+	}
+}
+
+func TestOnViolationPolicy(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{
+		Extra: []rings.SegmentDef{{
+			Name: "guarded", Size: 4, Read: true, Write: true,
+			Brackets: rings.Brackets{R1: 3, R2: 5, R3: 5},
+		}},
+	}, `
+        .seg    main
+        .bracket 4,4,4
+        lia     1
+        sta     *ptr
+        lia     9
+        call    sysgates$exit
+ptr:    .its    4, guarded$base
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	sys.OnViolation(func(*rings.Trap) bool { caught++; return false })
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught != 1 || !res.Exited || res.ExitCode != 9 {
+		t.Errorf("caught=%d res=%+v", caught, res)
+	}
+}
+
+func TestBaselineMachine(t *testing.T) {
+	m, err := rings.Baseline(rings.SystemConfig{}, `
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    svc$entry
+        hlt
+
+        .seg    svc
+        .bracket 1,1,5
+        .gate   entry
+entry:  eap5    *pr0|0
+        spr6    pr5|0
+        lia     3
+        eap6    *pr5|0
+        return  *pr6|0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.A.Int64() != 3 {
+		t.Errorf("A = %d", m.CPU.A.Int64())
+	}
+	if m.Crossings != 2 {
+		t.Errorf("crossings = %d", m.Crossings)
+	}
+}
+
+func TestReserveAndDemandLoad(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice"}, `
+        .seg    main
+        .bracket 4,4,4
+        lda     *ptr
+        call    sysgates$exit
+ptr:    .its    4, 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segno, err := sys.Reserve("lib", []rings.Word{rings.Word(21)}, 0, 0, rings.ACL{
+		{User: "*", Read: true, Brackets: rings.Brackets{R1: 4, R2: 5, R3: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := sys.Symbol("main", "ptr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := sys.ReadWord("main", off)
+	if err := sys.WriteWord("main", off, raw.Deposit(18, 14, uint64(segno))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.ExitCode != 21 {
+		t.Errorf("res: %+v audit: %v", res, sys.Audit())
+	}
+}
+
+func TestAssembleExposed(t *testing.T) {
+	prog, err := rings.Assemble(".seg s\nnop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Segment("s") == nil {
+		t.Error("segment missing")
+	}
+	if _, err := rings.Assemble("frob\n"); err == nil {
+		t.Error("bad source assembled")
+	}
+}
+
+func TestValidationAblationConfig(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{
+		Validate: false, ValidateSet: true,
+		Extra: []rings.SegmentDef{{
+			Name: "hidden", Size: 4, Read: true,
+			Brackets: rings.Brackets{R1: 0, R2: 1, R3: 1},
+		}},
+	}, `
+        .seg    main
+        .bracket 4,4,4
+        lda     *ptr
+        hlt
+ptr:    .its    4, hidden$base
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil {
+		t.Errorf("ablated machine trapped: %v", res.Trap)
+	}
+}
+
+func TestReExportsAndAccessors(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice"}, helloSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(4, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.CPU() == nil {
+		t.Error("CPU accessor nil")
+	}
+	if len(sys.Audit()) == 0 {
+		t.Error("no audit entries after exit")
+	}
+	if sys.Trace() != "" {
+		t.Error("trace nonempty without Trace config")
+	}
+	if _, err := sys.Segno("sysgates"); err != nil {
+		t.Error("sysgates segno missing")
+	}
+	if _, err := sys.Segno("ghost"); err == nil {
+		t.Error("ghost segno resolved")
+	}
+	w := rings.PackBrackets(true, false, true, rings.Brackets{R1: 1, R2: 2, R3: 3})
+	if w.IsZero() {
+		t.Error("PackBrackets zero")
+	}
+	if got := rings.UnpackChars(rings.PackChars("xyz")); got != "xyz" {
+		t.Errorf("chars round trip: %q", got)
+	}
+	w0, w1 := rings.MakeIOCB(1, 2, 3, 4, 5)
+	if w0.IsZero() || w1.IsZero() {
+		t.Error("MakeIOCB zero words")
+	}
+}
+
+// TestTypewriterThroughPublicAPI drives the whole I/O path through the
+// façade: a ring-0 gate copies and SIOs a ring-4 message.
+func TestTypewriterThroughPublicAPI(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{User: "alice"}, `
+        .seg    tty
+        .bracket 0,0,5
+        .access rwe
+        .gate   write
+write:  eap5    *pr0|0
+        spr6    pr5|0
+        sio     iocb
+        eap6    *pr5|0
+        return  *pr6|0
+        .entry  iocb
+iocb:   .word   0
+        .its    0, msg
+        .entry  msg
+msg:    .string "ok!"
+
+        .seg    main
+        .bracket 4,4,4
+        stic    pr6|0,+1
+        call    tty$write
+        lia     0
+        call    sysgates$exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tty := sys.AttachTypewriter(1)
+	// Attaching twice reuses the controller.
+	tty2 := sys.AttachTypewriter(2)
+	_ = tty2
+	iocbOff, err := sys.Symbol("tty", "iocb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttySeg, _ := sys.Segno("tty")
+	w0, _ := rings.MakeIOCB(1, 1, 1, ttySeg, iocbOff+1)
+	// IOCB word 1 (the buffer pointer) was assembled as a .its aimed at
+	// msg; word 0 carries op/device/count.
+	if err := sys.WriteWord("tty", iocbOff, w0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited {
+		t.Fatalf("res: %+v audit %v", res, sys.Audit())
+	}
+	if got := tty.Printed.String(); got != "ok!" {
+		t.Errorf("printed %q", got)
+	}
+}
+
+func TestStdMacrosViaFacade(t *testing.T) {
+	sys, err := rings.NewSystem(rings.SystemConfig{}, rings.StdMacros+`
+        .seg    main
+        .bracket 4,4,4
+        lia     20
+        callg   svc$half
+        callg   sysgates$exit
+
+        .seg    svc
+        .bracket 1,1,5
+        .gate   half
+half:   leafenter
+        ars     1
+        leafexit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.ExitCode != 10 {
+		t.Errorf("res: %+v", res)
+	}
+}
+
+func TestNewDeferredSystem(t *testing.T) {
+	sys, err := rings.NewDeferredSystem("alice", rings.StdMacros+`
+        .seg    main
+        .bracket 4,4,4
+        lia     5
+        callg   lib$double
+        callg   sysgates$exit
+
+        .seg    lib
+        .bracket 1,1,5
+        .gate   double
+double: leafenter
+        als     1
+        leafexit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(4, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.ExitCode != 10 {
+		t.Fatalf("res: %+v audit: %v", res, sys.Audit())
+	}
+	if sys.Sup.LinksSnapped() != 2 { // lib$double, sysgates$exit
+		t.Errorf("snapped %d links", sys.Sup.LinksSnapped())
+	}
+}
