@@ -649,3 +649,58 @@ func BenchmarkSDWCache(b *testing.B) {
 		})
 	}
 }
+
+// ---- Traceless access path: the zero-allocation guarantee ----
+
+// tracelessImage builds a cross-ring call kernel that never halts, for
+// steady-state stepping with the trace sink disabled.
+func tracelessImage(tb testing.TB) *image.Image {
+	tb.Helper()
+	opt := cpu.DefaultOptions()
+	opt.SDWCache = true
+	p := exp.CallKernelParams{CallerRing: 4, ServiceRing: 1, Iterations: 1 << 30}
+	img, err := p.BuildHardware(&opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := img.Start(4, "main", 0); err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// BenchmarkTracelessStep measures the per-instruction cost of the full
+// MMU access path (SDW fetch, bracket validation, cross-ring CALL and
+// RETURN) with no sink attached. The path is required to be
+// allocation-free: 0 B/op here is an acceptance criterion, asserted by
+// TestTracelessStepZeroAlloc.
+func BenchmarkTracelessStep(b *testing.B) {
+	img := tracelessImage(b)
+	c := img.CPU
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTracelessStepZeroAlloc pins the guarantee down as a test: with
+// the sink disabled, stepping through gated cross-ring calls allocates
+// nothing.
+func TestTracelessStepZeroAlloc(t *testing.T) {
+	img := tracelessImage(t)
+	c := img.CPU
+	if _, err := c.Run(200); err != nil { // warm the SDW cache and stacks
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := c.Run(50); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("traceless step path allocates %v allocs per 50-step run, want 0", avg)
+	}
+}

@@ -1,15 +1,21 @@
 // Command ringbench runs the experiment harness: for every figure of
-// the paper (F1-F9) and every quantitative or structural claim (T1-T10)
+// the paper (F1-F9) and every quantitative or structural claim (T1-T11)
 // it regenerates the corresponding table, diagram or measurement and
 // prints the report. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-vs-measured notes.
 //
 // Usage:
 //
-//	ringbench [-exp F8|T1|...|all] [-list]
+//	ringbench [-exp F8|T1|...|all] [-list] [-json]
+//
+// With -json, reports are emitted as a JSON array of objects with the
+// experiment id, title, host wall-clock nanoseconds, the experiment's
+// machine-readable metrics (simulated cycles, SDW cache hit rate, ...)
+// and the report lines — for dashboards and regression tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,12 +29,35 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonResult is the machine-readable form of one experiment report.
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	HostNs  int64              `json:"host_ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Lines   []string           `json:"lines"`
+}
+
+func emitJSON(w io.Writer, results []*exp.Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, jsonResult{
+			ID: r.ID, Title: r.Title, HostNs: r.HostNs,
+			Metrics: r.Metrics, Lines: r.Lines,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // run is the testable body of the command.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	id := fs.String("exp", "all", "experiment id (F1-F9, T1-T10) or all")
+	id := fs.String("exp", "all", "experiment id (F1-F9, T1-T11) or all")
 	list := fs.Bool("list", false, "list experiment ids")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,22 +69,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	var results []*exp.Result
 	if strings.EqualFold(*id, "all") {
-		results, err := exp.RunAll()
+		all, err := exp.RunAll()
 		if err != nil {
 			fmt.Fprintln(stderr, "ringbench:", err)
 			return 1
 		}
-		for _, r := range results {
-			fmt.Fprintln(stdout, r)
+		results = all
+	} else {
+		r, err := exp.Run(strings.ToUpper(*id))
+		if err != nil {
+			fmt.Fprintln(stderr, "ringbench:", err)
+			return 1
+		}
+		results = []*exp.Result{r}
+	}
+
+	if *asJSON {
+		if err := emitJSON(stdout, results); err != nil {
+			fmt.Fprintln(stderr, "ringbench:", err)
+			return 1
 		}
 		return 0
 	}
-	r, err := exp.Run(strings.ToUpper(*id))
-	if err != nil {
-		fmt.Fprintln(stderr, "ringbench:", err)
-		return 1
+	for _, r := range results {
+		fmt.Fprintln(stdout, r)
 	}
-	fmt.Fprintln(stdout, r)
 	return 0
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -34,5 +35,28 @@ func TestRunUnknown(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {
 		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "T10", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d (%s)", code, errb.String())
+	}
+	var results []jsonResult
+	if err := json.Unmarshal([]byte(out.String()), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || results[0].ID != "T10" {
+		t.Fatalf("results = %+v", results)
+	}
+	r := results[0]
+	if r.HostNs <= 0 {
+		t.Errorf("host_ns = %d", r.HostNs)
+	}
+	for _, key := range []string{"cycles_cache_on", "cache_hit_rate"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("metrics missing %q: %v", key, r.Metrics)
+		}
 	}
 }

@@ -54,7 +54,7 @@ func callImage(t *testing.T) *image.Image {
 func TestDownwardCallSwitchesRing(t *testing.T) {
 	img := callImage(t)
 	buf := &trace.Buffer{}
-	img.CPU.Tracer = buf
+	img.CPU.SetTracer(buf)
 	run(t, img, 4, "main", 0)
 	c := img.CPU
 	if c.A.Int64() != 42 {
@@ -280,7 +280,7 @@ func TestUpwardReturnRaisesPRRings(t *testing.T) {
 		img.CPU.PR[i].Ring = 1
 	}
 	buf := &trace.Buffer{}
-	img.CPU.Tracer = buf
+	img.CPU.SetTracer(buf)
 	if _, err := img.CPU.Run(100); err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestFullCallReturnRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := &trace.Buffer{}
-	img.CPU.Tracer = buf
+	img.CPU.SetTracer(buf)
 	run(t, img, 4, "main", 0)
 	c := img.CPU
 	if c.A.Int64() != 42 {
@@ -467,8 +467,8 @@ func TestLDBRInRing0(t *testing.T) {
 	if _, err := img.CPU.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if img.CPU.DBR != newDBR {
-		t.Errorf("DBR = %+v", img.CPU.DBR)
+	if img.CPU.DBR() != newDBR {
+		t.Errorf("DBR = %+v", img.CPU.DBR())
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/mmu"
 	"repro/internal/seg"
 	"repro/internal/trace"
 	"repro/internal/trap"
@@ -134,13 +135,22 @@ type Options struct {
 	// address calculation.
 	MaxIndirections int
 	// SDWCache enables the associative memory for segment descriptor
-	// words (see sdwcache.go). Off by default: every reference then
+	// words (see internal/mmu). Off by default: every reference then
 	// reads the descriptor segment, and no invalidation discipline is
 	// required of supervisor software.
 	SDWCache bool
+	// SDWCacheSize is the number of associative registers when SDWCache
+	// is on; zero means DefaultSDWCacheSize. It must be a power of two
+	// (the cache is direct-mapped on segno low bits); New panics
+	// otherwise.
+	SDWCacheSize int
 	// Costs is the cycle cost model; zero value means DefaultCosts.
 	Costs Costs
 }
+
+// DefaultSDWCacheSize is the number of SDW associative registers when
+// Options.SDWCache is on and no explicit size is given.
+const DefaultSDWCacheSize = 32
 
 // DefaultOptions returns the standard configuration: validation on,
 // body-text stack rule, indirection chain limit 8.
@@ -155,8 +165,11 @@ func DefaultOptions() Options {
 
 // CPU is the simulated processor plus its attached core memory.
 type CPU struct {
-	Mem mem.Store
-	DBR seg.DBR
+	// MMU is the processor's memory management unit: the single
+	// authoritative path from two-part address to core word. It owns the
+	// DBR, the SDW associative memory and all access validation; the CPU
+	// proper holds only registers and the instruction cycle.
+	MMU *mmu.MMU
 
 	IPR Pointer
 	TPR Pointer
@@ -174,7 +187,11 @@ type CPU struct {
 	Opt Options
 
 	Handler TrapHandler
-	Tracer  trace.Recorder
+
+	// tracer is the installed trace sink (mmu.Disabled when off); the
+	// same sink is installed on the MMU so validation events and
+	// instruction-cycle events interleave in one stream.
+	tracer mmu.Sink
 
 	// Services dispatches SVC instructions; nil means SVC raises an
 	// unhandled Supervisor trap.
@@ -197,10 +214,6 @@ type CPU struct {
 	// between instructions (see interrupt.go).
 	interrupts []Interrupt
 
-	// sdwCache is the associative memory for SDWs (Options.SDWCache).
-	sdwCache [sdwCacheSize]sdwCacheEntry
-	sdwStats SDWCacheStats
-
 	// steps counts executed instructions (for RunFor limits and traces).
 	steps uint64
 }
@@ -219,7 +232,8 @@ type IODevice interface {
 	StartIO(c *CPU, iocbSeg, iocbWord uint32) error
 }
 
-// New returns a CPU attached to storage m with the given options.
+// New returns a CPU attached to storage m with the given options. It
+// panics if Options.SDWCacheSize is not a power of two.
 func New(m mem.Store, opt Options) *CPU {
 	if opt.MaxIndirections <= 0 {
 		opt.MaxIndirections = 8
@@ -227,8 +241,52 @@ func New(m mem.Store, opt Options) *CPU {
 	if opt.Costs == (Costs{}) {
 		opt.Costs = DefaultCosts()
 	}
-	return &CPU{Mem: m, Opt: opt}
+	size := 0
+	if opt.SDWCache {
+		size = opt.SDWCacheSize
+		if size == 0 {
+			size = DefaultSDWCacheSize
+		}
+	}
+	c := &CPU{Opt: opt, tracer: mmu.Disabled}
+	c.MMU = mmu.New(m, mmu.Options{
+		Validate:  opt.Validate,
+		CacheSize: size,
+		Costs:     mmu.Costs{Validate: opt.Costs.Validate, SDWMiss: opt.Costs.SDWMiss},
+	})
+	c.MMU.AttachCycles(&c.Cycles)
+	return c
 }
+
+// Mem returns the core store beneath the MMU.
+func (c *CPU) Mem() mem.Store { return c.MMU.Mem }
+
+// DBR returns the descriptor base register.
+func (c *CPU) DBR() seg.DBR { return c.MMU.DBR() }
+
+// SetDBR loads the descriptor base register. The MMU flushes its SDW
+// associative memory as part of the load — a different descriptor
+// segment invalidates every cached translation.
+func (c *CPU) SetDBR(d seg.DBR) { c.MMU.SetDBR(d) }
+
+// SetTracer installs the trace sink on the processor and its MMU; nil
+// disables tracing.
+func (c *CPU) SetTracer(s mmu.Sink) {
+	if s == nil {
+		s = mmu.Disabled
+	}
+	c.tracer = s
+	c.MMU.SetSink(s)
+}
+
+// Tracer returns the installed trace sink (mmu.Disabled when tracing is
+// off, never nil for a CPU built by New).
+func (c *CPU) Tracer() mmu.Sink { return c.tracer }
+
+// tracing reports whether trace events should be constructed. Callers
+// use it to skip detail-string formatting entirely when tracing is off,
+// keeping the step path allocation-free.
+func (c *CPU) tracing() bool { return c.tracer != nil && c.tracer.Enabled() }
 
 // AddCycles charges simulated supervisor path length to the machine.
 func (c *CPU) AddCycles(n uint64) { c.Cycles += n }
@@ -280,38 +338,32 @@ func (c *CPU) DropSaved() error {
 
 // record emits a trace event if tracing is attached.
 func (c *CPU) record(k trace.Kind, ring core.Ring, segno, wordno uint32, detail string) {
-	if c.Tracer == nil {
+	if !c.tracing() {
 		return
 	}
-	c.Tracer.Record(trace.Event{Kind: k, Ring: ring, Segno: segno, Wordno: wordno, Detail: detail})
+	c.tracer.Record(trace.Event{Kind: k, Ring: ring, Segno: segno, Wordno: wordno, Detail: detail})
 }
 
 // Table returns the descriptor segment accessor for the current DBR.
-func (c *CPU) Table() seg.Table { return seg.Table{Mem: c.Mem, DBR: c.DBR} }
+func (c *CPU) Table() seg.Table { return c.MMU.Table() }
 
-// fetchSDW retrieves the SDW for segno. The error return is a physical
-// memory fault (simulator integrity problem), never an access issue —
-// absent segments come back with Present false and the callers raise
-// the architectural trap.
-func (c *CPU) fetchSDW(segno uint32) (seg.SDW, error) {
-	if c.Opt.SDWCache {
-		return c.cachedFetchSDW(segno)
-	}
-	c.Cycles += c.Opt.Costs.SDWMiss // every reference reads the descriptor segment
-	return seg.Table{Mem: c.Mem, DBR: c.DBR}.Fetch(segno)
-}
+// fetchSDW retrieves the SDW for segno through the MMU's associative
+// memory. The error return is a physical memory fault (simulator
+// integrity problem), never an access issue — absent segments come back
+// with Present false and the callers raise the architectural trap.
+func (c *CPU) fetchSDW(segno uint32) (seg.SDW, error) { return c.MMU.FetchSDW(segno) }
 
 // readVirtual reads (segno|wordno); the access must already be
 // validated. Bounds were checked architecturally, so errors here are
 // simulator integrity faults.
 func (c *CPU) readVirtual(s seg.SDW, wordno uint32) (word.Word, error) {
-	return c.Mem.Read(seg.Translate(s, wordno))
+	return c.MMU.Read(s, wordno)
 }
 
 // writeVirtual writes (segno|wordno); the access must already be
 // validated.
 func (c *CPU) writeVirtual(s seg.SDW, wordno uint32, w word.Word) error {
-	return c.Mem.Write(seg.Translate(s, wordno), w)
+	return c.MMU.Write(s, wordno, w)
 }
 
 // StopReason reports why Run returned.

@@ -43,7 +43,7 @@ func (c *CPU) formEA(ins isa.Instruction) (seg.SDW, *archTrap, error) {
 		c.TPR.Segno = pr.Segno
 		c.TPR.Wordno = word.Add18(pr.Wordno, word.SignExtend18(ins.Offset))
 		c.TPR.Ring = core.EffectiveRingPR(c.TPR.Ring, pr.Ring)
-		if c.Tracer != nil {
+		if c.tracing() {
 			c.record(trace.KindEA, c.TPR.Ring, c.TPR.Segno, c.TPR.Wordno,
 				fmt.Sprintf("pr%d-relative, effective ring %d", ins.PR, c.TPR.Ring))
 		}
@@ -81,7 +81,7 @@ func (c *CPU) formEA(ins isa.Instruction) (seg.SDW, *archTrap, error) {
 		// The capability to read the indirect word must be validated
 		// before it is retrieved, with respect to TPR.RING at the time
 		// it is encountered.
-		if viol := c.checkRead(sdw.View(), c.TPR.Wordno); viol != nil {
+		if viol := c.MMU.CheckRead(sdw.View(), c.TPR.Segno, c.TPR.Wordno, c.TPR.Ring); viol != nil {
 			return seg.SDW{}, c.violationTrap(viol), nil
 		}
 		raw, err := c.readVirtual(sdw, c.TPR.Wordno)
@@ -94,7 +94,7 @@ func (c *CPU) formEA(ins isa.Instruction) (seg.SDW, *archTrap, error) {
 		c.TPR.Ring = core.EffectiveRingIndirect(c.TPR.Ring, ind.Ring, sdw.Brackets.R1)
 		c.TPR.Segno = ind.Segno
 		c.TPR.Wordno = ind.Wordno
-		if c.Tracer != nil {
+		if c.tracing() {
 			c.record(trace.KindEA, c.TPR.Ring, c.TPR.Segno, c.TPR.Wordno,
 				fmt.Sprintf("indirect via %v, effective ring %d", ind, c.TPR.Ring))
 		}
@@ -110,60 +110,4 @@ func usesIndexTag(op isa.Opcode) bool {
 		return false
 	}
 	return true
-}
-
-// checkRead validates a read at (TPR.Segno, wordno) against TPR.RING,
-// honouring the validation ablation switch (presence and bounds are
-// always enforced).
-func (c *CPU) checkRead(v core.SDWView, wordno uint32) *core.Violation {
-	c.Cycles += c.Opt.Costs.Validate
-	if !c.Opt.Validate {
-		return core.CheckBound(v, wordno, c.TPR.Ring)
-	}
-	viol := core.CheckRead(v, wordno, c.TPR.Ring)
-	c.traceValidate("read", wordno, viol)
-	return viol
-}
-
-// checkWrite validates a write at (TPR.Segno, wordno) against TPR.RING.
-func (c *CPU) checkWrite(v core.SDWView, wordno uint32) *core.Violation {
-	c.Cycles += c.Opt.Costs.Validate
-	if !c.Opt.Validate {
-		return core.CheckBound(v, wordno, c.TPR.Ring)
-	}
-	viol := core.CheckWrite(v, wordno, c.TPR.Ring)
-	c.traceValidate("write", wordno, viol)
-	return viol
-}
-
-// checkFetch validates the instruction fetch (Figure 4) against the
-// ring of execution.
-func (c *CPU) checkFetch(v core.SDWView) *core.Violation {
-	c.Cycles += c.Opt.Costs.Validate
-	if !c.Opt.Validate {
-		return core.CheckBound(v, c.IPR.Wordno, c.IPR.Ring)
-	}
-	return core.CheckFetch(v, c.IPR.Wordno, c.IPR.Ring)
-}
-
-// checkTransfer performs the advance check of Figure 7.
-func (c *CPU) checkTransfer(v core.SDWView) *core.Violation {
-	c.Cycles += c.Opt.Costs.Validate
-	if !c.Opt.Validate {
-		return core.CheckBound(v, c.TPR.Wordno, c.IPR.Ring)
-	}
-	viol := core.CheckTransfer(v, c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring)
-	c.traceValidate("transfer", c.TPR.Wordno, viol)
-	return viol
-}
-
-func (c *CPU) traceValidate(what string, wordno uint32, viol *core.Violation) {
-	if c.Tracer == nil {
-		return
-	}
-	detail := what + " ok"
-	if viol != nil {
-		detail = what + " violation: " + viol.Kind.String()
-	}
-	c.record(trace.KindValidate, c.TPR.Ring, c.TPR.Segno, wordno, detail)
 }

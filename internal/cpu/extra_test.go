@@ -204,7 +204,7 @@ func TestLDBRSwitchesVirtualMemories(t *testing.T) {
 		t.Fatal(err)
 	}
 	dbr2 := seg.DBR{Addr: uint32(base2), Bound: 64}
-	tbl2 := seg.Table{Mem: c.Mem, DBR: dbr2}
+	tbl2 := seg.Table{Mem: c.Mem(), DBR: dbr2}
 	// Copy the needed SDWs into the second VM.
 	supSeg, _ := img.Segno("sup")
 	supSDW, _ := img.SDW(supSeg)
@@ -289,7 +289,7 @@ func TestSTICWriteValidated(t *testing.T) {
 func TestTraceBufferLimitDuringRun(t *testing.T) {
 	img := callImage(t)
 	buf := newLimitedBuffer(4)
-	img.CPU.Tracer = buf
+	img.CPU.SetTracer(buf)
 	run(t, img, 4, "main", 0)
 	if len(buf.Events) != 4 || buf.Dropped == 0 {
 		t.Errorf("events=%d dropped=%d", len(buf.Events), buf.Dropped)
@@ -476,7 +476,7 @@ func TestSDWCacheFlushOnLDBR(t *testing.T) {
 		t.Fatal(err)
 	}
 	dbr2 := seg.DBR{Addr: uint32(base2), Bound: 64}
-	tbl2 := seg.Table{Mem: c.Mem, DBR: dbr2}
+	tbl2 := seg.Table{Mem: c.Mem(), DBR: dbr2}
 	supSeg, _ := img.Segno("sup")
 	dimgSeg, _ := img.Segno("dbrimage")
 	for segno, sdw := range map[uint32]seg.SDW{

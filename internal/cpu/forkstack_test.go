@@ -89,7 +89,9 @@ func TestForkedStacksViaDBRStackField(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := img.CPU
-	c.DBR.Stack = 24
+	dbr := c.DBR()
+	dbr.Stack = 24
+	c.SetDBR(dbr)
 	forkSeg4, _ := img.Segno("fork_4")
 	c.PR[cpu.StackPtrPR] = cpu.Pointer{Ring: 4, Segno: forkSeg4, Wordno: image.StackFrameStart}
 	c.PR[cpu.StackBasePR] = cpu.Pointer{Ring: 4, Segno: forkSeg4, Wordno: 0}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"repro/internal/mmu"
 	"repro/internal/seg"
 )
 
@@ -8,74 +9,31 @@ import (
 // "the processor must examine the SDW for a segment each time that
 // segment is referenced by two-part address anyway"; on the real 645
 // and its successor that examination was cheap because a small
-// associative memory held recently used SDWs. This file models that
-// store: a direct-mapped cache of decoded SDWs, opt-in via
-// Options.SDWCache.
+// associative memory held recently used SDWs. The store itself — a
+// direct-mapped cache of decoded SDWs, opt-in via Options.SDWCache,
+// sized by Options.SDWCacheSize — lives in internal/mmu together with
+// the rest of the reference path; these wrappers preserve the
+// processor-level API.
 //
 // Correctness hinges on invalidation — the paper expects a changed SDW
-// "to be immediately effective". The cache is flushed when the DBR is
-// reloaded (a different descriptor segment entirely), and supervisor
-// software that edits descriptors must store through StoreSDW, which
-// invalidates the cached copy. (With the cache disabled — the default —
-// every fetch reads the descriptor segment and no discipline is
-// needed.)
-
-// sdwCacheSize is the number of associative registers (a power of two).
-const sdwCacheSize = 32
-
-type sdwCacheEntry struct {
-	valid bool
-	segno uint32
-	sdw   seg.SDW
-}
+// "to be immediately effective". The discipline is documented on
+// package mmu: LDBR flushes, descriptor edits go through StoreSDW, and
+// multi-processor configurations add a shootdown protocol (mmu.Group).
 
 // SDWCacheStats reports associative memory performance.
-type SDWCacheStats struct {
-	Hits   uint64
-	Misses uint64
-}
+type SDWCacheStats = mmu.CacheStats
 
 // SDWCacheStats returns the hit/miss counters (zero when disabled).
-func (c *CPU) SDWCacheStats() SDWCacheStats { return c.sdwStats }
+func (c *CPU) SDWCacheStats() SDWCacheStats { return c.MMU.CacheStats() }
 
 // FlushSDWCache invalidates every associative register. The processor
 // does this itself on LDBR; supervisor code editing descriptors in
 // place uses StoreSDW instead, which invalidates selectively.
-func (c *CPU) FlushSDWCache() {
-	for i := range c.sdwCache {
-		c.sdwCache[i].valid = false
-	}
-}
+func (c *CPU) FlushSDWCache() { c.MMU.Flush() }
 
 // StoreSDW writes an SDW through the current descriptor segment and
 // keeps the associative memory coherent. All run-time descriptor edits
 // by supervisor software go through here.
 func (c *CPU) StoreSDW(segno uint32, sdw seg.SDW) error {
-	if err := c.Table().Store(segno, sdw); err != nil {
-		return err
-	}
-	if c.Opt.SDWCache {
-		e := &c.sdwCache[segno%sdwCacheSize]
-		if e.valid && e.segno == segno {
-			e.valid = false
-		}
-	}
-	return nil
-}
-
-// cachedFetchSDW is fetchSDW behind the associative memory.
-func (c *CPU) cachedFetchSDW(segno uint32) (seg.SDW, error) {
-	e := &c.sdwCache[segno%sdwCacheSize]
-	if e.valid && e.segno == segno {
-		c.sdwStats.Hits++
-		return e.sdw, nil
-	}
-	c.sdwStats.Misses++
-	c.Cycles += c.Opt.Costs.SDWMiss
-	sdw, err := seg.Table{Mem: c.Mem, DBR: c.DBR}.Fetch(segno)
-	if err != nil {
-		return seg.SDW{}, err
-	}
-	*e = sdwCacheEntry{valid: true, segno: segno, sdw: sdw}
-	return sdw, nil
+	return c.MMU.StoreSDW(segno, sdw)
 }

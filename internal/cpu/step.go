@@ -35,7 +35,7 @@ func (c *CPU) Step() error {
 	if err != nil {
 		return err
 	}
-	if viol := c.checkFetch(sdw.View()); viol != nil {
+	if viol := c.MMU.CheckFetch(sdw.View(), c.IPR.Wordno, c.IPR.Ring); viol != nil {
 		return c.raise(&archTrap{
 			code: trap.FromViolation(viol), viol: viol,
 			operandSeg: c.IPR.Segno, operandWord: c.IPR.Wordno,
@@ -51,7 +51,7 @@ func (c *CPU) Step() error {
 	if !ok {
 		return c.raise(&archTrap{code: trap.IllegalOpcode})
 	}
-	if c.Tracer != nil {
+	if c.tracing() {
 		// ins.String() formats eagerly; keep it off the traceless path.
 		c.record(trace.KindFetch, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno, ins.String())
 	}
@@ -114,7 +114,7 @@ func (c *CPU) Step() error {
 		if at != nil {
 			return c.raise(at)
 		}
-		if viol := c.checkTransfer(opSDW.View()); viol != nil {
+		if viol := c.MMU.CheckTransfer(opSDW.View(), c.TPR.Segno, c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring); viol != nil {
 			return c.raise(c.violationTrap(viol))
 		}
 		c.Cycles += cost.Exec + cost.Transfer
@@ -228,7 +228,7 @@ func (c *CPU) execNoOperand(ins isa.Instruction) (*archTrap, error) {
 		if c.Services == nil {
 			return &archTrap{code: trap.Supervisor, service: ins.Offset}, nil
 		}
-		if c.Tracer != nil {
+		if c.tracing() {
 			c.record(trace.KindService, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno,
 				fmt.Sprintf("service %d", ins.Offset))
 		}
@@ -244,7 +244,7 @@ func (c *CPU) execNoOperand(ins isa.Instruction) (*archTrap, error) {
 // operandRead performs a validated operand read at the effective
 // address (Figure 6).
 func (c *CPU) operandRead(view core.SDWView, opSDW seg.SDW) (word.Word, *archTrap, error) {
-	if viol := c.checkRead(view, c.TPR.Wordno); viol != nil {
+	if viol := c.MMU.CheckRead(view, c.TPR.Segno, c.TPR.Wordno, c.TPR.Ring); viol != nil {
 		return 0, c.violationTrap(viol), nil
 	}
 	w, err := c.readVirtual(opSDW, c.TPR.Wordno)
@@ -258,7 +258,7 @@ func (c *CPU) operandRead(view core.SDWView, opSDW seg.SDW) (word.Word, *archTra
 // operandWrite performs a validated operand write at the effective
 // address (Figure 6).
 func (c *CPU) operandWrite(view core.SDWView, opSDW seg.SDW, w word.Word) (*archTrap, error) {
-	if viol := c.checkWrite(view, c.TPR.Wordno); viol != nil {
+	if viol := c.MMU.CheckWrite(view, c.TPR.Segno, c.TPR.Wordno, c.TPR.Ring); viol != nil {
 		return c.violationTrap(viol), nil
 	}
 	if err := c.writeVirtual(opSDW, c.TPR.Wordno, w); err != nil {
@@ -372,12 +372,13 @@ func (c *CPU) execOperand(ins isa.Instruction, info isa.Info, opSDW seg.SDW) (*a
 		if at != nil || err != nil {
 			return at, err
 		}
-		c.DBR = seg.DecodeDBR(even, odd)
-		// A new descriptor segment invalidates every cached SDW.
-		c.FlushSDWCache()
-		if c.Tracer != nil {
+		dbr := seg.DecodeDBR(even, odd)
+		// A new descriptor segment invalidates every cached SDW; the MMU
+		// flushes as part of the load.
+		c.SetDBR(dbr)
+		if c.tracing() {
 			c.record(trace.KindExec, c.IPR.Ring, c.IPR.Segno, c.IPR.Wordno,
-				fmt.Sprintf("ldbr addr=%o bound=%o stack=%o", c.DBR.Addr, c.DBR.Bound, c.DBR.Stack))
+				fmt.Sprintf("ldbr addr=%o bound=%o stack=%o", dbr.Addr, dbr.Bound, dbr.Stack))
 		}
 	case isa.SIO:
 		// Privileged: start I/O from the control block at the operand.
@@ -404,18 +405,9 @@ func (c *CPU) execCall(opSDW seg.SDW) (*archTrap, error) {
 	c.Cycles += cost.Exec + cost.Transfer + cost.Call + cost.Validate
 
 	sameSegment := c.TPR.Segno == c.IPR.Segno
-	decision, viol := core.DecideCall(opSDW.View(), c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring, sameSegment)
-	if viol != nil && c.Opt.Validate {
-		return c.violationTrap(viol), nil
-	}
+	decision, viol := c.MMU.DecideCall(opSDW.View(), c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring, sameSegment)
 	if viol != nil {
-		// Validation ablation: treat as a same-ring transfer if the
-		// target exists; bounds were already enforced by formEA's SDW
-		// fetch path, so re-check bounds only.
-		if bviol := core.CheckBound(opSDW.View(), c.TPR.Wordno, c.IPR.Ring); bviol != nil {
-			return c.violationTrap(bviol), nil
-		}
-		decision = core.CallDecision{Outcome: core.CallSameRing, NewRing: c.IPR.Ring}
+		return c.violationTrap(viol), nil
 	}
 
 	if decision.Outcome == core.CallUpwardTrap {
@@ -437,7 +429,7 @@ func (c *CPU) execCall(opSDW seg.SDW) (*archTrap, error) {
 	}
 	c.PR[StackBasePR] = Pointer{Ring: newRing, Segno: stackSegno, Wordno: 0}
 
-	if c.Tracer != nil {
+	if c.tracing() {
 		if newRing != c.IPR.Ring {
 			c.record(trace.KindRingSwitch, newRing, c.TPR.Segno, c.TPR.Wordno,
 				fmt.Sprintf("call: ring %d -> %d", c.IPR.Ring, newRing))
@@ -460,7 +452,7 @@ func (c *CPU) stackSegno(ring core.Ring) (uint32, *archTrap) {
 		// the stack pointer register, allowing nonstandard stacks.
 		segno = c.PR[StackPtrPR].Segno
 	case c.Opt.StackRule == StackDBRBase:
-		segno = c.DBR.Stack + uint32(ring)
+		segno = c.DBR().Stack + uint32(ring)
 	default:
 		segno = uint32(ring)
 	}
@@ -478,15 +470,9 @@ func (c *CPU) execReturn(opSDW seg.SDW) (*archTrap, error) {
 	cost := &c.Opt.Costs
 	c.Cycles += cost.Exec + cost.Transfer + cost.Return + cost.Validate
 
-	decision, viol := core.DecideReturn(opSDW.View(), c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring)
-	if viol != nil && c.Opt.Validate {
-		return c.violationTrap(viol), nil
-	}
+	decision, viol := c.MMU.DecideReturn(opSDW.View(), c.TPR.Wordno, c.IPR.Ring, c.TPR.Ring)
 	if viol != nil {
-		if bviol := core.CheckBound(opSDW.View(), c.TPR.Wordno, c.IPR.Ring); bviol != nil {
-			return c.violationTrap(bviol), nil
-		}
-		decision = core.ReturnDecision{Outcome: core.ReturnSameRing, NewRing: c.TPR.Ring}
+		return c.violationTrap(viol), nil
 	}
 
 	if decision.Outcome == core.ReturnDownwardTrap {
@@ -501,21 +487,22 @@ func (c *CPU) execReturn(opSDW seg.SDW) (*archTrap, error) {
 	if decision.Outcome == core.ReturnUpward {
 		// Raise every PRn.RING to at least the new ring (Figure 9).
 		// Together with PRs being loadable only by EAP, this maintains
-		// PRn.RING ≥ IPR.RING.
-		rings := make([]core.Ring, len(c.PR))
+		// PRn.RING ≥ IPR.RING. The scratch array lives on the stack so
+		// the step path stays allocation-free.
+		var rings [8]core.Ring
 		for i := range c.PR {
 			rings[i] = c.PR[i].Ring
 		}
-		core.RaisePRRings(rings, newRing)
+		core.RaisePRRings(rings[:], newRing)
 		for i := range c.PR {
 			c.PR[i].Ring = rings[i]
 		}
-		if c.Tracer != nil {
+		if c.tracing() {
 			c.record(trace.KindRingSwitch, newRing, c.TPR.Segno, c.TPR.Wordno,
 				fmt.Sprintf("return: ring %d -> %d", c.IPR.Ring, newRing))
 		}
 	}
-	if c.Tracer != nil {
+	if c.tracing() {
 		c.record(trace.KindExec, newRing, c.TPR.Segno, c.TPR.Wordno, decision.Outcome.String())
 	}
 

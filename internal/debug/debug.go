@@ -110,7 +110,7 @@ func (d *Debugger) peek(a Addr) (word.Word, error) {
 	if !sdw.Present || a.Wordno >= sdw.Bound {
 		return 0, fmt.Errorf("debug: %v outside its segment", a)
 	}
-	return d.C.Mem.Read(seg.Translate(sdw, a.Wordno))
+	return d.C.Mem().Read(seg.Translate(sdw, a.Wordno))
 }
 
 // checkWatches returns the first changed watchpoint, if any, and

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Result is one experiment's report.
@@ -17,6 +18,13 @@ type Result struct {
 	ID    string
 	Title string
 	Lines []string
+	// HostNs is the wall-clock time the experiment took on the host, in
+	// nanoseconds, stamped by Run.
+	HostNs int64
+	// Metrics holds the experiment's machine-readable measurements —
+	// simulated cycles, cache hit rates and the like — for ringbench
+	// -json. Nil when the experiment reports prose only.
+	Metrics map[string]float64
 }
 
 func (r *Result) addf(format string, args ...interface{}) {
@@ -25,6 +33,14 @@ func (r *Result) addf(format string, args ...interface{}) {
 
 func (r *Result) add(lines ...string) {
 	r.Lines = append(r.Lines, lines...)
+}
+
+// metric records one machine-readable measurement.
+func (r *Result) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
 }
 
 // String renders the report.
@@ -49,9 +65,11 @@ var registry = map[string]runner{}
 func register(id, title string, run func(r *Result) error) {
 	registry[id] = runner{title: title, run: func() (*Result, error) {
 		r := &Result{ID: id, Title: title}
+		start := time.Now()
 		if err := run(r); err != nil {
 			return nil, fmt.Errorf("%s: %w", id, err)
 		}
+		r.HostNs = time.Since(start).Nanoseconds()
 		return r, nil
 	}}
 }

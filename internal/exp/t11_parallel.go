@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/proc"
+	"repro/internal/sup"
+)
+
+// T11: the multi-processor configuration. The paper's machine model has
+// several processors sharing one core memory, each with its own DBR and
+// its own SDW associative memory. The experiment runs the same batch of
+// processes on one simulated processor and on several concurrent ones,
+// and checks that the architectural outcome — every process's exit code,
+// the total instructions executed, the total simulated cycles — is
+// identical: multiprogramming over more processors changes wall-clock
+// time, never behaviour.
+
+// t11Source is the per-process workload: five downward calls through a
+// gate into a ring-1 subsystem that adds 7 to the accumulator. The
+// processes share the code segments (read/execute) but write only their
+// private stacks, so they are independent under concurrency.
+const t11Source = `
+        .seg    svc
+        .bracket 1,1,5
+        .access re
+        .gate   bump
+bump:   eap5    *pr0|0
+        spr6    pr5|0
+        ada     seven
+        eap6    *pr5|0
+        return  *pr6|0
+seven:  .word   7
+
+        .seg    user
+        .bracket 4,4,4
+        lia     5
+        sta     pr6|2
+        lia     0
+        sta     pr6|3
+loop:   lda     pr6|3
+        stic    pr6|0,+1
+        call    svc$bump
+        sta     pr6|3
+        lda     pr6|2
+        aia     -1
+        sta     pr6|2
+        tnz     loop
+        lda     pr6|3
+        stic    pr6|0,+1
+        call    sysgates$exit
+`
+
+func init() {
+	register("T11", "multi-processor execution: concurrent processors sharing core", func(r *Result) error {
+		const (
+			nProcesses = 6
+			nWorkers   = 3
+			wantExit   = 5 * 7
+		)
+
+		// run builds a fresh system backed by nproc processors, spawns
+		// the batch and runs it in parallel, returning the per-processor
+		// stats and the summed steps and cycles.
+		run := func(nproc int) ([]proc.ProcessorStats, uint64, uint64, error) {
+			opt := cpu.DefaultOptions()
+			opt.SDWCache = true
+			s := proc.NewSystem(proc.Config{Processors: nproc, CPUOptions: &opt})
+			prog, err := asm.Assemble(sup.GateSource + t11Source)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if err := s.AddProgram(prog, func(string) acl.List { return nil }); err != nil {
+				return nil, 0, 0, err
+			}
+			var ps []*proc.Process
+			for i := 0; i < nProcesses; i++ {
+				p, err := s.Spawn(fmt.Sprintf("P%d", i), fmt.Sprintf("user%d", i), "user", 4)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				ps = append(ps, p)
+			}
+			stats, err := s.RunParallel(nproc, 100000)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			for _, p := range ps {
+				if !p.Exited || p.ExitCode != wantExit {
+					return nil, 0, 0, fmt.Errorf("%d processors: process %s exited=%v code=%d, want %d",
+						nproc, p.Name, p.Exited, p.ExitCode, wantExit)
+				}
+			}
+			var steps, cycles uint64
+			for _, st := range stats {
+				steps += st.Steps
+				cycles += st.Cycles
+			}
+			return stats, steps, cycles, nil
+		}
+
+		_, steps1, cycles1, err := run(1)
+		if err != nil {
+			return err
+		}
+		statsN, stepsN, cyclesN, err := run(nWorkers)
+		if err != nil {
+			return err
+		}
+
+		r.addf("%d processes, each: 5 gated downward calls (ring 4 -> 1), then exit(%d)", nProcesses, 5*7)
+		r.addf("")
+		r.addf("%-14s %12s %12s", "configuration", "steps", "cycles")
+		r.addf("%-14s %12d %12d", "1 processor", steps1, cycles1)
+		r.addf("%-14s %12d %12d", fmt.Sprintf("%d processors", nWorkers), stepsN, cyclesN)
+		if steps1 != stepsN || cycles1 != cyclesN {
+			return fmt.Errorf("multi-processor run changed architectural behaviour: steps %d vs %d, cycles %d vs %d",
+				steps1, stepsN, cycles1, cyclesN)
+		}
+		r.addf("")
+		r.addf("per-processor SDW associative memories (%d-processor run):", nWorkers)
+		r.addf("%-10s %10s %8s %8s %8s %9s", "processor", "processes", "hits", "misses", "hit%", "flushes")
+		var hits, misses uint64
+		for _, st := range statsN {
+			hits += st.Cache.Hits
+			misses += st.Cache.Misses
+			r.addf("%-10d %10d %8d %8d %7.1f%% %9d",
+				st.Processor, st.Processes, st.Cache.Hits, st.Cache.Misses,
+				100*st.Cache.HitRate(), st.Cache.Flushes)
+		}
+		r.addf("")
+		r.addf("identical totals: processors multiply throughput, and each carries")
+		r.addf("its own DBR and associative memory — \"a single segment may be part")
+		r.addf("of several virtual memories at the same time\"")
+		r.metric("processors", float64(nWorkers))
+		r.metric("cycles", float64(cyclesN))
+		r.metric("steps", float64(stepsN))
+		if hits+misses > 0 {
+			r.metric("cache_hit_rate", float64(hits)/float64(hits+misses))
+		}
+		return nil
+	})
+}

@@ -207,9 +207,12 @@ func init() {
 			return fmt.Errorf("associative memory saved nothing: %d vs %d", onCycles, offCycles)
 		}
 		r.addf("")
-		hitRate := float64(stats.Hits) / float64(stats.Hits+stats.Misses)
+		hitRate := stats.HitRate()
 		r.addf("cache statistics: %d hits, %d misses (%.1f%% hit rate)",
 			stats.Hits, stats.Misses, 100*hitRate)
+		r.metric("cycles_cache_off", float64(offCycles))
+		r.metric("cycles_cache_on", float64(onCycles))
+		r.metric("cache_hit_rate", hitRate)
 		if hitRate < 0.95 {
 			return fmt.Errorf("hit rate %.2f suspiciously low for a loop kernel", hitRate)
 		}

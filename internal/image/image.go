@@ -123,7 +123,7 @@ func Build(cfg Config, defs []SegmentDef) (*Image, error) {
 	opt.StackRule = cfg.StackRule
 
 	c := cpu.New(m, opt)
-	c.DBR = seg.DBR{Addr: 0, Bound: uint32(cfg.MaxSegments)}
+	c.SetDBR(seg.DBR{Addr: 0, Bound: uint32(cfg.MaxSegments)})
 
 	img := &Image{
 		CPU:      c,
@@ -142,7 +142,9 @@ func Build(cfg Config, defs []SegmentDef) (*Image, error) {
 		img.nextSegno = core.NumRings
 	case cpu.StackDBRBase:
 		stackBase = cfg.StackBase
-		c.DBR.Stack = stackBase
+		dbr := c.DBR()
+		dbr.Stack = stackBase
+		c.SetDBR(dbr)
 		img.nextSegno = stackBase + core.NumRings
 	default:
 		return nil, fmt.Errorf("image: unknown stack rule %d", cfg.StackRule)

@@ -59,8 +59,8 @@ func TestBuildStackRuleDBRBase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if img.CPU.DBR.Stack != 24 {
-		t.Errorf("DBR.Stack = %d", img.CPU.DBR.Stack)
+	if img.CPU.DBR().Stack != 24 {
+		t.Errorf("DBR.Stack = %d", img.CPU.DBR().Stack)
 	}
 	segno, err := img.Segno(image.StackSegmentName(3))
 	if err != nil {

@@ -81,7 +81,7 @@ func (ctl *Controller) Attach(devno uint32, d Device) {
 // code constructs every IOCB.
 func (ctl *Controller) StartIO(c *cpu.CPU, iocbSeg, iocbWord uint32) error {
 	read := func(wordno uint32) (word.Word, error) {
-		tbl := seg.Table{Mem: c.Mem, DBR: c.DBR}
+		tbl := seg.Table{Mem: c.Mem(), DBR: c.DBR()}
 		sdw, err := tbl.Fetch(iocbSeg)
 		if err != nil {
 			return 0, err
@@ -89,7 +89,7 @@ func (ctl *Controller) StartIO(c *cpu.CPU, iocbSeg, iocbWord uint32) error {
 		if !sdw.Present || wordno >= sdw.Bound {
 			return 0, fmt.Errorf("iosim: IOCB outside segment %o", iocbSeg)
 		}
-		return c.Mem.Read(seg.Translate(sdw, wordno))
+		return c.Mem().Read(seg.Translate(sdw, wordno))
 	}
 	w0, err := read(iocbWord)
 	if err != nil {
@@ -109,7 +109,7 @@ func (ctl *Controller) StartIO(c *cpu.CPU, iocbSeg, iocbWord uint32) error {
 	if !ok {
 		return fmt.Errorf("iosim: no device %d", devno)
 	}
-	tbl := seg.Table{Mem: c.Mem, DBR: c.DBR}
+	tbl := seg.Table{Mem: c.Mem(), DBR: c.DBR()}
 	sdw, err := tbl.Fetch(bufSeg)
 	if err != nil {
 		return err
@@ -165,7 +165,7 @@ func opName(op uint32) string {
 func (ctl *Controller) transfer(c *cpu.CPU, dev Device, op uint32, base, count int) error {
 	switch op {
 	case OpWrite:
-		data, err := mem.ReadRange(c.Mem, base, count)
+		data, err := mem.ReadRange(c.Mem(), base, count)
 		if err != nil {
 			return err
 		}
@@ -175,7 +175,7 @@ func (ctl *Controller) transfer(c *cpu.CPU, dev Device, op uint32, base, count i
 		if err != nil {
 			return err
 		}
-		return mem.WriteRange(c.Mem, base, data)
+		return mem.WriteRange(c.Mem(), base, data)
 	default:
 		return fmt.Errorf("iosim: bad IOCB operation %d", op)
 	}

@@ -1,0 +1,52 @@
+package mem
+
+import (
+	"sync/atomic"
+
+	"repro/internal/word"
+)
+
+// Atomic is a word-addressed core store safe for concurrent access from
+// several simulated processors. Each 36-bit word lives in its own
+// atomic cell, so the read path is a single atomic load — no mutex —
+// and the write path a single atomic store, matching the word-granular
+// coherence a real multi-processor memory controller provides.
+//
+// Atomicity is per word: a read concurrently with a write observes
+// either the old or the new word, never a mixture. Read-modify-write
+// instructions (AOS) are NOT made atomic across processors — exactly as
+// on the paper's hardware, where interlocking shared counters is
+// software's job (a ring-0 subsystem, a gate, or disjoint words).
+type Atomic struct {
+	words []atomic.Uint64
+}
+
+var _ Store = (*Atomic)(nil)
+
+// NewAtomic returns a zeroed shared memory of size words.
+func NewAtomic(size int) *Atomic {
+	if size <= 0 {
+		panic("mem: non-positive memory size")
+	}
+	return &Atomic{words: make([]atomic.Uint64, size)}
+}
+
+// Size returns the number of words of core.
+func (m *Atomic) Size() int { return len(m.words) }
+
+// Read fetches the word at absolute address addr.
+func (m *Atomic) Read(addr int) (word.Word, error) {
+	if addr < 0 || addr >= len(m.words) {
+		return 0, &Fault{Addr: addr, Size: len(m.words), Op: "read"}
+	}
+	return word.Word(m.words[addr].Load()), nil
+}
+
+// Write stores w at absolute address addr.
+func (m *Atomic) Write(addr int, w word.Word) error {
+	if addr < 0 || addr >= len(m.words) {
+		return &Fault{Addr: addr, Size: len(m.words), Op: "write"}
+	}
+	m.words[addr].Store(uint64(w))
+	return nil
+}

@@ -1,0 +1,105 @@
+package mmu
+
+import "sync"
+
+// Multi-processor SDW coherence.
+//
+// The paper's machine keeps one associative memory per processor; when
+// several processors share core, a descriptor edit on one must be
+// "immediately effective" on all. Real hardware does this with a
+// shootdown: the editing processor broadcasts the affected segment
+// number and every other processor drops its cached copy before the
+// next translation. This file models that protocol.
+//
+// The discipline, stated once and relied on everywhere:
+//
+//   - Every MMU that shares core with others joins one Group.
+//   - Descriptor edits go through StoreSDW (never raw Table().Store);
+//     StoreSDW posts the segment number to every other member.
+//   - A DBR swap (SetDBR) flushes only the local associative memory —
+//     a descriptor *segment* switch is private to its processor.
+//   - Members apply pending shootdowns at their next SDW fetch. The
+//     fast path is mutex-free: a single atomic generation comparison;
+//     the pending list's lock is taken only when the generation moved.
+//
+// The broadcast is conservative: a member invalidates segno regardless
+// of whose descriptor segment was edited (members may run different
+// DBRs). A spurious invalidation costs one refill; a missed one would
+// cost correctness.
+
+// pendingShootdowns is the cross-processor invalidation mailbox of one
+// MMU. Remote members post under the lock; the owner drains it.
+type pendingShootdowns struct {
+	mu     sync.Mutex
+	segnos []uint32
+}
+
+// Group is a set of MMUs sharing core memory and therefore obliged to
+// keep their associative memories coherent.
+type Group struct {
+	mu      sync.Mutex
+	members []*MMU
+}
+
+// NewGroup returns an empty coherence group.
+func NewGroup() *Group { return &Group{} }
+
+// Join adds u to the group. Join must happen before the member's
+// processor starts executing.
+func (g *Group) Join(u *MMU) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u.group = g
+	g.members = append(g.members, u)
+}
+
+// Members reports the group size.
+func (g *Group) Members() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// shootdown posts an invalidation of segno to every member except the
+// editor. Called by StoreSDW with the descriptor already written to
+// core, so a member that drains the post and refetches sees the new
+// contents.
+func (g *Group) shootdown(from *MMU, segno uint32) {
+	g.mu.Lock()
+	members := g.members
+	g.mu.Unlock()
+	for _, m := range members {
+		if m == from {
+			continue
+		}
+		m.postInvalidate(segno)
+	}
+}
+
+// postInvalidate enqueues a remote invalidation: list under the lock,
+// then the generation bump that makes the owner look.
+func (u *MMU) postInvalidate(segno uint32) {
+	if len(u.cache) == 0 {
+		return
+	}
+	u.pending.mu.Lock()
+	u.pending.segnos = append(u.pending.segnos, segno)
+	u.pending.mu.Unlock()
+	u.shootGen.Add(1)
+}
+
+// applyShootdowns drains the mailbox on the owner's side. gen is the
+// generation observed by the caller; recording it before draining means
+// a post that races with the drain re-triggers on the next fetch — at
+// worst one spurious (empty) drain, never a missed invalidation.
+func (u *MMU) applyShootdowns(gen uint64) {
+	u.seenGen = gen
+	u.pending.mu.Lock()
+	segnos := u.pending.segnos
+	u.pending.segnos = nil
+	u.pending.mu.Unlock()
+	for _, segno := range segnos {
+		u.invalidate(segno)
+		u.stats.Shootdowns++
+	}
+}

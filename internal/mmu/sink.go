@@ -1,0 +1,34 @@
+package mmu
+
+import "repro/internal/trace"
+
+// Sink receives trace events from the reference path. It replaces the
+// bare recorder-or-nil convention: tracing, per-kind event counting and
+// disabled tracing are interchangeable implementations, and the hot
+// path asks Enabled() — one devirtualized call, no nil branch, no
+// allocation — before building an event's detail string.
+//
+// Implementations must be cheap when disabled: Enabled is consulted on
+// every traced operation, and a Sink that returns false is never handed
+// an event, so the Disabled sink makes the whole reference path
+// allocation-free.
+type Sink interface {
+	// Enabled reports whether events should be constructed at all.
+	// Callers skip event (and detail string) construction entirely when
+	// it returns false.
+	Enabled() bool
+	// Record consumes one event. Called only when Enabled returned
+	// true.
+	Record(trace.Event)
+}
+
+// disabledSink is the nil object: tracing off, zero cost.
+type disabledSink struct{}
+
+func (disabledSink) Enabled() bool      { return false }
+func (disabledSink) Record(trace.Event) {}
+
+// Disabled is the no-op Sink. A zero-size value in an interface does
+// not allocate, so installing it (the default) keeps the step path at
+// zero allocations.
+var Disabled Sink = disabledSink{}

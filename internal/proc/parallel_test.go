@@ -1,0 +1,145 @@
+package proc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/proc"
+	"repro/internal/sup"
+)
+
+// parallelSrc is a workload safe under true concurrency: the processes
+// share the gated subsystem's code and its read-only constant, but all
+// working storage lives in each process's private stack.
+const parallelSrc = `
+        .seg    svc
+        .bracket 1,1,5
+        .access re
+        .gate   addten
+addten: eap5    *pr0|0
+        spr6    pr5|0
+        ada     ten
+        eap6    *pr5|0
+        return  *pr6|0
+ten:    .word   10
+
+        .seg    user
+        .bracket 4,4,4
+        lia     4
+        sta     pr6|2
+        lia     0
+        sta     pr6|3
+loop:   lda     pr6|3
+        stic    pr6|0,+1
+        call    svc$addten
+        sta     pr6|3
+        lda     pr6|2
+        aia     -1
+        sta     pr6|2
+        tnz     loop
+        lda     pr6|3
+        stic    pr6|0,+1
+        call    sysgates$exit
+`
+
+func newParallelSystem(t *testing.T, nproc, nProcesses int) (*proc.System, []*proc.Process) {
+	t.Helper()
+	opt := cpu.DefaultOptions()
+	opt.SDWCache = true
+	s := proc.NewSystem(proc.Config{Processors: nproc, CPUOptions: &opt})
+	prog, err := asm.Assemble(sup.GateSource + parallelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProgram(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ps []*proc.Process
+	for i := 0; i < nProcesses; i++ {
+		p, err := s.Spawn(fmt.Sprintf("P%d", i), fmt.Sprintf("user%d", i), "user", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return s, ps
+}
+
+// TestRunParallel runs a batch of processes on 1 and on 3 concurrent
+// processors (the 3-processor case exercises the coherence discipline
+// under -race) and checks that every process exits identically and the
+// per-processor statistics account for the whole batch.
+func TestRunParallel(t *testing.T) {
+	const wantExit = 4 * 10
+	for _, nproc := range []int{1, 3} {
+		t.Run(fmt.Sprintf("%d-processors", nproc), func(t *testing.T) {
+			s, ps := newParallelSystem(t, nproc, 6)
+			stats, err := s.RunParallel(nproc, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ps {
+				if !p.Done || !p.Exited || p.ExitCode != wantExit {
+					t.Errorf("%s: done=%v exited=%v code=%d, want exit %d",
+						p.Name, p.Done, p.Exited, p.ExitCode, wantExit)
+				}
+				if p.Cycles == 0 {
+					t.Errorf("%s: cycles=%d, want work accounted", p.Name, p.Cycles)
+				}
+			}
+			if len(stats) != nproc {
+				t.Fatalf("got %d processor stats, want %d", len(stats), nproc)
+			}
+			var procs int
+			var cycles uint64
+			for _, st := range stats {
+				procs += st.Processes
+				cycles += st.Cycles
+				if st.Steps > 0 && st.Cache.Hits+st.Cache.Misses == 0 {
+					t.Errorf("processor %d ran %d steps with no SDW cache traffic", st.Processor, st.Steps)
+				}
+			}
+			if procs != 6 {
+				t.Errorf("processors ran %d processes in total, want 6", procs)
+			}
+			var want uint64
+			for _, p := range ps {
+				want += p.Cycles
+			}
+			if cycles != want {
+				t.Errorf("per-processor cycles sum to %d, per-process to %d", cycles, want)
+			}
+		})
+	}
+}
+
+// TestRunParallelNeedsAtomicCore: multiple processors over a plain
+// (non-atomic) core must be refused, not raced.
+func TestRunParallelNeedsAtomicCore(t *testing.T) {
+	s, _ := newParallelSystem(t, 1, 1) // Processors: 1 -> plain core
+	if _, err := s.RunParallel(2, 1000); err == nil {
+		t.Fatal("2 processors over non-atomic core accepted")
+	} else if !strings.Contains(err.Error(), "non-atomic core") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestRunParallelClampsWorkers: nproc <= 0 degrades to a single worker.
+func TestRunParallelClampsWorkers(t *testing.T) {
+	s, ps := newParallelSystem(t, 1, 2)
+	stats, err := s.RunParallel(0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("got %d processor stats, want 1", len(stats))
+	}
+	for _, p := range ps {
+		if !p.Exited {
+			t.Errorf("%s did not exit", p.Name)
+		}
+	}
+}

@@ -40,6 +40,17 @@ type Config struct {
 	MemWords    int // default 1<<21
 	MaxSegments int // per-process descriptor bound; default 128
 	StackSize   int // per-ring stack words; default 512
+
+	// Processors is the number of simulated processors RunParallel may
+	// drive concurrently (see parallel.go). Any value above 1 backs the
+	// system with the word-atomic shared core (mem.Atomic) instead of
+	// the plain store, so several processors can reference core
+	// concurrently. Zero or 1 means a single-processor system.
+	Processors int
+
+	// CPUOptions configures every processor (the scheduler's and each
+	// of RunParallel's); nil means cpu.DefaultOptions.
+	CPUOptions *cpu.Options
 }
 
 // SharedDef describes one on-line segment shared among processes. Its
@@ -86,7 +97,9 @@ type Process struct {
 
 // System is the multi-process machine.
 type System struct {
-	Mem   *mem.Memory
+	// Mem is the shared core: a plain store for a single-processor
+	// system, the word-atomic store when Config.Processors > 1.
+	Mem   mem.Store
 	Alloc *mem.Allocator
 	CPU   *cpu.CPU
 
@@ -107,16 +120,29 @@ func NewSystem(cfg Config) *System {
 	if cfg.StackSize == 0 {
 		cfg.StackSize = 512
 	}
-	m := mem.New(cfg.MemWords)
+	var m mem.Store
+	if cfg.Processors > 1 {
+		m = mem.NewAtomic(cfg.MemWords)
+	} else {
+		m = mem.New(cfg.MemWords)
+	}
 	alloc := mem.NewAllocator(cfg.MemWords, 64) // low core reserved (fault vector convention)
 	return &System{
 		Mem:       m,
 		Alloc:     alloc,
-		CPU:       cpu.New(m, cpu.DefaultOptions()),
+		CPU:       cpu.New(m, cfg.cpuOptions()),
 		cfg:       cfg,
 		shared:    map[string]*sharedSeg{},
 		nextSegno: core.NumRings, // 0-7 are the per-process stacks
 	}
+}
+
+// cpuOptions resolves the processor configuration.
+func (cfg Config) cpuOptions() cpu.Options {
+	if cfg.CPUOptions != nil {
+		return *cfg.CPUOptions
+	}
+	return cpu.DefaultOptions()
 }
 
 // AddShared places a shared segment in core and assigns its (global)
@@ -296,11 +322,9 @@ func (s *System) Spawn(name, user, startSeg string, ring core.Ring) (*Process, e
 // Processes returns the spawned processes.
 func (s *System) Processes() []*Process { return s.procs }
 
-// dispatch loads p's context onto the processor.
-func (s *System) dispatch(p *Process) {
-	c := s.CPU
-	c.DBR = p.dbr
-	c.FlushSDWCache() // new descriptor segment
+// dispatch loads p's context onto processor c.
+func (s *System) dispatch(c *cpu.CPU, p *Process) {
+	c.SetDBR(p.dbr) // new descriptor segment; the MMU flushes its SDW cache
 	c.IPR = p.state.IPR
 	c.TPR = p.state.TPR
 	c.PR = p.state.PR
@@ -312,9 +336,8 @@ func (s *System) dispatch(p *Process) {
 	c.Services = p.Sup
 }
 
-// park saves the processor context back into p.
-func (s *System) park(p *Process) {
-	c := s.CPU
+// park saves processor c's context back into p.
+func (s *System) park(c *cpu.CPU, p *Process) {
 	p.state.IPR = c.IPR
 	p.state.TPR = c.TPR
 	p.state.PR = c.PR
@@ -341,7 +364,7 @@ func (s *System) Schedule(quantum, maxSlices int) error {
 			live = true
 			slices++
 			p.Slices++
-			s.dispatch(p)
+			s.dispatch(s.CPU, p)
 			before := s.CPU.Cycles
 			reason, err := s.CPU.Run(quantum)
 			p.Cycles += s.CPU.Cycles - before
@@ -359,7 +382,7 @@ func (s *System) Schedule(quantum, maxSlices int) error {
 				p.Exited = p.Sup.Exited
 				p.ExitCode = p.Sup.ExitCode
 			case cpu.StopLimit:
-				s.park(p) // quantum expired; context switch
+				s.park(s.CPU, p) // quantum expired; context switch
 			}
 		}
 		if !live {
@@ -405,7 +428,7 @@ func (s *System) ScheduleInterrupts(quantum, maxSlices int) error {
 			live = true
 			slices++
 			p.Slices++
-			s.dispatch(p)
+			s.dispatch(s.CPU, p)
 			preempted := false
 			s.CPU.Handler = preemptHandler{inner: p.Sup, preempted: &preempted}
 			s.CPU.PostInterrupt(cpu.Interrupt{After: uint64(quantum), Code: trap.TimerInterrupt})
@@ -422,7 +445,7 @@ func (s *System) ScheduleInterrupts(quantum, maxSlices int) error {
 					return rerr
 				}
 				s.CPU.Halted = false
-				s.park(p)
+				s.park(s.CPU, p)
 			case err != nil:
 				if t, ok := err.(*trap.Trap); ok {
 					p.Done = true

@@ -117,8 +117,8 @@ func Wrap(img *image.Image) (*Machine, error) {
 		policies: map[uint32]policy{},
 	}
 	c := img.CPU
-	master := seg.Table{Mem: c.Mem, DBR: c.DBR}
-	m.dsBound = c.DBR.Bound
+	master := c.Table()
+	m.dsBound = c.DBR().Bound
 
 	// Read every master SDW into the software policy table.
 	sdws := make([]seg.SDW, m.dsBound)
@@ -147,7 +147,7 @@ func Wrap(img *image.Image) (*Machine, error) {
 			return nil, fmt.Errorf("softring: allocating ring-%d descriptor segment: %w", r, err)
 		}
 		m.dsAddr[r] = uint32(base)
-		tbl := seg.Table{Mem: c.Mem, DBR: seg.DBR{Addr: uint32(base), Bound: m.dsBound}}
+		tbl := seg.Table{Mem: c.Mem(), DBR: seg.DBR{Addr: uint32(base), Bound: m.dsBound}}
 		for segno := uint32(0); segno < m.dsBound; segno++ {
 			sdw := sdws[segno]
 			if !sdw.Present {
@@ -208,10 +208,11 @@ func (m *Machine) Run(limit int) (cpu.StopReason, error) {
 }
 
 // switchDS points the DBR at ring r's descriptor segment — the software
-// ring switch's central (and costly) act.
+// ring switch's central (and costly) act. The MMU flushes its SDW
+// associative memory as part of the load: the software ring switch's
+// hidden cost.
 func (m *Machine) switchDS(r core.Ring) {
-	m.CPU.DBR = seg.DBR{Addr: m.dsAddr[r], Bound: m.dsBound}
-	m.CPU.FlushSDWCache() // the software ring switch's hidden cost
+	m.CPU.SetDBR(seg.DBR{Addr: m.dsAddr[r], Bound: m.dsBound})
 }
 
 func (m *Machine) auditf(format string, args ...interface{}) {
@@ -367,16 +368,17 @@ func (m *Machine) gatekeeperReturn(c *cpu.CPU, t *trap.Trap, verify bool) cpu.Tr
 }
 
 // readWordAt performs a supervisor-privilege read through the CURRENT
-// descriptor segment's addressing (addresses are ring-independent).
+// descriptor segment's addressing (addresses are ring-independent). It
+// goes through the processor's MMU so descriptor fetches hit the same
+// associative memory as the hardware path.
 func (m *Machine) readWordAt(segno, wordno uint32) (word.Word, error) {
 	pol, ok := m.policies[segno]
 	if !ok || wordno >= pol.bound {
 		return 0, fmt.Errorf("softring: read outside segment %o", segno)
 	}
-	tbl := seg.Table{Mem: m.CPU.Mem, DBR: m.CPU.DBR}
-	sdw, err := tbl.Fetch(segno)
+	sdw, err := m.CPU.MMU.FetchSDW(segno)
 	if err != nil {
 		return 0, err
 	}
-	return m.CPU.Mem.Read(seg.Translate(sdw, wordno))
+	return m.CPU.MMU.Read(sdw, wordno)
 }

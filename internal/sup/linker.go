@@ -107,7 +107,7 @@ func BootDeferred(user, source string) (*Supervisor, *asm.Program, error) {
 		return nil, nil, err
 	}
 	// The fault segment: the last descriptor slot, never allocated.
-	faultSegno := img.CPU.DBR.Bound - 1
+	faultSegno := img.CPU.DBR().Bound - 1
 	table, err := asm.LinkDeferred(img, prog, faultSegno)
 	if err != nil {
 		return nil, nil, err

@@ -116,7 +116,7 @@ bogus:  .its    4, 0            ; patched to the fault segment, bad id
 	if err != nil {
 		t.Fatal(err)
 	}
-	faultSegno := s.Img.CPU.DBR.Bound - 1
+	faultSegno := s.Img.CPU.DBR().Bound - 1
 	raw, _ := s.Img.ReadWord("main", 2)
 	patched := raw.Deposit(18, 14, uint64(faultSegno)).Deposit(0, 18, 9999)
 	if err := s.Img.WriteWord("main", 2, patched); err != nil {

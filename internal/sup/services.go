@@ -123,7 +123,7 @@ func (s *Supervisor) serviceSetBrackets(c *cpu.CPU) {
 	}
 	sdw.Read, sdw.Write, sdw.Execute = read, write, execute
 	sdw.Brackets = br
-	if err := c.Table().Store(segno, sdw); err != nil {
+	if err := c.StoreSDW(segno, sdw); err != nil {
 		s.auditf("set-brackets: %v", err)
 		c.A = word.FromInt(-1)
 		return

@@ -184,7 +184,7 @@ func (s *Supervisor) violation(c *cpu.CPU, t *trap.Trap) cpu.TrapAction {
 // stackSegnoFor mirrors the hardware's stack segment numbering rule.
 func (s *Supervisor) stackSegnoFor(c *cpu.CPU, r core.Ring) uint32 {
 	if c.Opt.StackRule == cpu.StackDBRBase {
-		return c.DBR.Stack + uint32(r)
+		return c.DBR().Stack + uint32(r)
 	}
 	return uint32(r)
 }
@@ -334,7 +334,7 @@ func (s *Supervisor) readWordAt(c *cpu.CPU, segno, wordno uint32) (word.Word, er
 	if !sdw.Present || wordno >= sdw.Bound {
 		return 0, fmt.Errorf("sup: read outside segment %o", segno)
 	}
-	return c.Mem.Read(seg.Translate(sdw, wordno))
+	return c.Mem().Read(seg.Translate(sdw, wordno))
 }
 
 func (s *Supervisor) writeWordAt(c *cpu.CPU, segno, wordno uint32, w word.Word) error {
@@ -345,7 +345,7 @@ func (s *Supervisor) writeWordAt(c *cpu.CPU, segno, wordno uint32, w word.Word) 
 	if !sdw.Present || wordno >= sdw.Bound {
 		return fmt.Errorf("sup: write outside segment %o", segno)
 	}
-	return c.Mem.Write(seg.Translate(sdw, wordno), w)
+	return c.Mem().Write(seg.Translate(sdw, wordno), w)
 }
 
 // ---------------------------------------------------------------------
@@ -386,7 +386,7 @@ func (s *Supervisor) Reserve(os *OnlineSegment) (uint32, error) {
 		return 0, err
 	}
 	sdw.Present = false
-	if err := s.Img.CPU.Table().Store(segno, sdw); err != nil {
+	if err := s.Img.CPU.StoreSDW(segno, sdw); err != nil {
 		return 0, err
 	}
 	s.online[segno] = os
@@ -414,7 +414,7 @@ func (s *Supervisor) Initiate(segno uint32) error {
 	sdw.Execute = entry.Execute
 	sdw.Brackets = entry.Brackets
 	sdw.Gate = os.Gates
-	if err := s.Img.CPU.Table().Store(segno, sdw); err != nil {
+	if err := s.Img.CPU.StoreSDW(segno, sdw); err != nil {
 		return err
 	}
 	s.auditf("initiated %q (segno %o) for %q: %v", os.Name, segno, s.User, sdw)

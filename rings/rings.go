@@ -142,7 +142,7 @@ func NewSystem(cfg SystemConfig, source string) (*System, error) {
 	sys := &System{Img: img, Sup: s, Prog: prog}
 	if cfg.Trace {
 		sys.traceBuf = &trace.Buffer{Limit: cfg.TraceLimit}
-		img.CPU.Tracer = sys.traceBuf
+		img.CPU.SetTracer(sys.traceBuf)
 	}
 	return sys, nil
 }
