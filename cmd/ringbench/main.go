@@ -1,5 +1,5 @@
 // Command ringbench runs the experiment harness: for every figure of
-// the paper (F1-F9) and every quantitative or structural claim (T1-T11)
+// the paper (F1-F9) and every quantitative or structural claim (T1-T12)
 // it regenerates the corresponding table, diagram or measurement and
 // prints the report. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-vs-measured notes.
@@ -55,7 +55,7 @@ func emitJSON(w io.Writer, results []*exp.Result) error {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	id := fs.String("exp", "all", "experiment id (F1-F9, T1-T11) or all")
+	id := fs.String("exp", "all", "experiment id (F1-F9, T1-T12) or all")
 	list := fs.Bool("list", false, "list experiment ids")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports")
 	if err := fs.Parse(args); err != nil {

@@ -1,0 +1,199 @@
+// Command ringd is the protection-decision daemon: it loads a machine
+// image (descriptor segment plus segment bodies), starts a pool of
+// decision workers — each a simulated processor with its own MMU and
+// SDW associative memory, kept coherent through the shootdown group —
+// and answers batched protection queries over HTTP/JSON.
+//
+// Usage:
+//
+//	ringd [-addr :8642] [-workers 4] [-cache 64] [-queue 64]
+//	      [-batch 1024] [-image image.json]
+//
+// Endpoints:
+//
+//	POST /v1/check   batch of access/call/return/effring queries
+//	POST /v1/mutate  supervisor edits: setbrackets, revoke, restore
+//	GET  /healthz    liveness and image shape
+//	GET  /metrics    decisions, faults by kind, cache and latency counters
+//
+// The image file is a JSON object {"segments": [...]}, each segment
+// carrying a name, size, access flags, ring brackets and gate count;
+// with no -image flag a built-in demonstration image is served. On
+// SIGINT/SIGTERM the daemon stops accepting, drains the decision queue
+// and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// Test hooks: when non-nil, testHookReady receives the bound listen
+// address once serving, and closing testHookShutdown triggers the same
+// graceful drain a signal would.
+var (
+	testHookReady    chan<- string
+	testHookShutdown <-chan struct{}
+)
+
+// imageSegment is the JSON form of one segment in an image file.
+type imageSegment struct {
+	Name    string `json:"name"`
+	Size    int    `json:"size"`
+	Read    bool   `json:"read"`
+	Write   bool   `json:"write"`
+	Execute bool   `json:"execute"`
+	R1      uint8  `json:"r1"`
+	R2      uint8  `json:"r2"`
+	R3      uint8  `json:"r3"`
+	Gates   uint32 `json:"gates"`
+}
+
+type imageFile struct {
+	Segments []imageSegment `json:"segments"`
+}
+
+// demoImage is the image served when no -image flag is given: a small
+// Multics-flavoured layout exercising every protection mechanism.
+func demoImage() []service.Segment {
+	return []service.Segment{
+		{Name: "supervisor", Size: 4096, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 7}, Gates: 8},
+		{Name: "sys_data", Size: 1024, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 2, R3: 2}},
+		{Name: "math_lib", Size: 2048, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 7, R3: 7}},
+		{Name: "editor", Size: 2048, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 4, R3: 5}, Gates: 2},
+		{Name: "user_code", Size: 1024, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 6, R3: 6}},
+		{Name: "user_data", Size: 4096, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 4, R2: 6, R3: 6}},
+	}
+}
+
+// loadImage reads a JSON image file, or returns the demo image for an
+// empty path.
+func loadImage(path string) ([]service.Segment, error) {
+	if path == "" {
+		return demoImage(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f imageFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Segments) == 0 {
+		return nil, fmt.Errorf("%s: image holds no segments", path)
+	}
+	defs := make([]service.Segment, len(f.Segments))
+	for i, s := range f.Segments {
+		b := core.Brackets{R1: core.Ring(s.R1), R2: core.Ring(s.R2), R3: core.Ring(s.R3)}
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: segment %q: %w", path, s.Name, err)
+		}
+		defs[i] = service.Segment{
+			Name: s.Name, Size: s.Size,
+			Read: s.Read, Write: s.Write, Execute: s.Execute,
+			Brackets: b, Gates: s.Gates,
+		}
+	}
+	return defs, nil
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8642", "listen address")
+	workers := fs.Int("workers", 4, "decision workers, one simulated processor each")
+	cache := fs.Int("cache", 64, "per-worker SDW cache size (power of two; 0 disables)")
+	queue := fs.Int("queue", 64, "bounded batch-queue depth (full queue answers 429)")
+	batchLimit := fs.Int("batch", 1024, "maximum queries per batch")
+	imagePath := fs.String("image", "", "machine image JSON (built-in demo image when empty)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	defs, err := loadImage(*imagePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringd:", err)
+		return 1
+	}
+	st, err := service.NewStore(service.StoreConfig{}, defs)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringd:", err)
+		return 1
+	}
+	svc, err := service.New(st, service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		CacheSet:   true,
+		BatchLimit: *batchLimit,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "ringd:", err)
+		return 1
+	}
+	srv := service.NewServer(svc)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringd:", err)
+		srv.Close()
+		return 1
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	fmt.Fprintf(stdout, "ringd: serving %d segments on %s (%d workers, cache %d, queue %d)\n",
+		len(defs), ln.Addr(), svc.Workers(), *cache, svc.QueueDepth())
+	if testHookReady != nil {
+		testHookReady <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "ringd:", err)
+		srv.Close()
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "ringd: %v: draining\n", s)
+	case <-testHookShutdown:
+		fmt.Fprintln(stdout, "ringd: shutdown requested: draining")
+	}
+
+	// Graceful shutdown: stop accepting, finish in-flight HTTP requests,
+	// then drain the decision queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "ringd: shutdown:", err)
+	}
+	srv.Close()
+	fmt.Fprintln(stdout, "ringd: drained, exiting")
+	return 0
+}

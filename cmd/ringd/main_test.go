@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadImageDefault(t *testing.T) {
+	defs, err := loadImage("")
+	if err != nil {
+		t.Fatalf("loadImage(\"\"): %v", err)
+	}
+	if len(defs) == 0 {
+		t.Fatal("demo image is empty")
+	}
+	names := map[string]bool{}
+	gated := false
+	for _, d := range defs {
+		if names[d.Name] {
+			t.Errorf("duplicate segment %q", d.Name)
+		}
+		names[d.Name] = true
+		if err := d.Brackets.Validate(); err != nil {
+			t.Errorf("segment %q: %v", d.Name, err)
+		}
+		gated = gated || d.Gates > 0
+	}
+	if !gated {
+		t.Error("demo image has no gated segment")
+	}
+}
+
+func TestLoadImageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "image.json")
+	img := `{"segments": [
+		{"name": "a", "size": 64, "read": true, "write": true, "r1": 1, "r2": 3, "r3": 3},
+		{"name": "b", "size": 32, "read": true, "execute": true, "r1": 0, "r2": 2, "r3": 5, "gates": 4}
+	]}`
+	if err := os.WriteFile(path, []byte(img), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defs, err := loadImage(path)
+	if err != nil {
+		t.Fatalf("loadImage: %v", err)
+	}
+	if len(defs) != 2 || defs[0].Name != "a" || defs[1].Gates != 4 {
+		t.Errorf("loaded %+v", defs)
+	}
+	if defs[1].Brackets.R3 != 5 {
+		t.Errorf("segment b brackets %+v", defs[1].Brackets)
+	}
+}
+
+func TestLoadImageErrors(t *testing.T) {
+	if _, err := loadImage(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := loadImage(bad); err == nil {
+		t.Error("bad JSON: want error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"segments": []}`), 0o644)
+	if _, err := loadImage(empty); err == nil {
+		t.Error("empty image: want error")
+	}
+	inverted := filepath.Join(dir, "inverted.json")
+	os.WriteFile(inverted, []byte(`{"segments": [{"name": "x", "size": 8, "r1": 5, "r2": 2, "r3": 1}]}`), 0o644)
+	if _, err := loadImage(inverted); err == nil {
+		t.Error("inverted brackets: want error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunBadImage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-image", filepath.Join(t.TempDir(), "absent.json")}, &out, &errOut); code != 1 {
+		t.Errorf("bad image: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "ringd:") {
+		t.Errorf("stderr %q lacks ringd: prefix", errOut.String())
+	}
+}
+
+func TestRunBadCacheSize(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-cache", "12"}, &out, &errOut); code != 1 {
+		t.Errorf("bad cache size: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "12") {
+		t.Errorf("stderr %q does not name the offending size", errOut.String())
+	}
+}
+
+// TestRunServeAndShutdown boots the daemon on an ephemeral port, drives
+// the API end to end, then triggers the graceful drain path.
+func TestRunServeAndShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	testHookReady = ready
+	testHookShutdown = shutdown
+	defer func() { testHookReady = nil; testHookShutdown = nil }()
+
+	var out, errOut bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-cache", "16"}, &out, &errOut)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var health struct {
+		OK       bool `json:"ok"`
+		Workers  int  `json:"workers"`
+		Segments int  `json:"segments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Workers != 2 || health.Segments == 0 {
+		t.Errorf("healthz %+v", health)
+	}
+
+	// A user-ring read of user_data must pass; a user-ring read of
+	// sys_data must hit the read bracket.
+	body := `{"queries": [
+		{"op": "access", "ring": 5, "segment": "user_data", "kind": "read"},
+		{"op": "access", "ring": 5, "segment": "sys_data", "kind": "read"},
+		{"op": "call", "ring": 5, "segment": "supervisor", "wordno": 3}
+	]}`
+	resp, err = http.Post(base+"/v1/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/check: %v", err)
+	}
+	var check struct {
+		Decisions []struct {
+			Allowed bool   `json:"allowed"`
+			Outcome string `json:"outcome"`
+			NewRing uint8  `json:"new_ring"`
+		} `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&check); err != nil {
+		t.Fatalf("decode check: %v", err)
+	}
+	resp.Body.Close()
+	if len(check.Decisions) != 3 {
+		t.Fatalf("got %d decisions", len(check.Decisions))
+	}
+	if !check.Decisions[0].Allowed || check.Decisions[1].Allowed {
+		t.Errorf("decisions: %+v", check.Decisions)
+	}
+	if check.Decisions[2].Outcome != "downward call" || check.Decisions[2].NewRing != 0 {
+		t.Errorf("supervisor call: %+v", check.Decisions[2])
+	}
+
+	close(shutdown)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "drained, exiting") {
+		t.Errorf("stdout %q lacks drain message", out.String())
+	}
+}

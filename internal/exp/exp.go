@@ -1,6 +1,6 @@
 // Package exp is the experiment harness: it regenerates, as text
 // reports, every figure of the paper (F1-F9) and every quantitative or
-// structural claim the paper makes in prose (T1-T6), per the index in
+// structural claim the paper makes in prose (T1-T12), per the index in
 // DESIGN.md. The ringbench command prints the reports; EXPERIMENTS.md
 // records paper-vs-measured for each; the benchmarks in bench_test.go
 // time the same kernels under the Go benchmark harness.

@@ -11,7 +11,7 @@ type coreRing = core.Ring
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
-		"T1", "T10", "T11", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+		"T1", "T10", "T11", "T12", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs: %v", got)

@@ -1,0 +1,269 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// T12: the protection-decision service under concurrent load. The
+// service wraps the MMU decision procedure in a pool of workers — one
+// simulated processor each, own SDW associative memory, shared
+// word-atomic core — while a supervisor thread streams descriptor
+// edits (SetBrackets, Revoke, Restore) through the coherent StoreSDW
+// path. Every decision reports the mutation-epoch interval it was
+// evaluated under; replaying the same edit script single-threaded
+// gives an oracle, and each concurrent decision must be identical to
+// the oracle's answer at some state within its interval. A decision
+// whose interval is a single even epoch must match that state exactly.
+
+// t12Segments is the image under test.
+func t12Segments() []service.Segment {
+	return []service.Segment{
+		{Name: "data", Size: 64, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 2, R2: 4, R3: 4}},
+		{Name: "code", Size: 64, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 1, R2: 3, R3: 5}, Gates: 2},
+		{Name: "secret", Size: 16, Read: true,
+			Brackets: core.Brackets{R1: 0, R2: 1, R3: 1}},
+		{Name: "lib", Size: 64, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 7, R3: 7}},
+	}
+}
+
+// t12Script is the supervisor's edit sequence. Every edit changes only
+// the even word of its descriptor (brackets or the present bit), so a
+// concurrent reader of the word-atomic core sees exactly the old or the
+// new descriptor, never a torn one.
+func t12Script(n int) []func(st *service.Store) error {
+	wide := core.Brackets{R1: 2, R2: 4, R3: 4}
+	narrow := core.Brackets{R1: 0, R2: 1, R3: 1}
+	muts := make([]func(st *service.Store) error, n)
+	for i := range muts {
+		switch i % 4 {
+		case 0:
+			muts[i] = func(st *service.Store) error { return st.SetBrackets(0, true, true, false, narrow, 0) }
+		case 1:
+			muts[i] = func(st *service.Store) error { return st.Revoke(1) }
+		case 2:
+			muts[i] = func(st *service.Store) error { return st.SetBrackets(0, true, true, false, wide, 0) }
+		default:
+			muts[i] = func(st *service.Store) error { return st.Restore(1) }
+		}
+	}
+	return muts
+}
+
+// t12Probes is the fixed query batch the load generator submits; the
+// first eight depend on the mutated descriptors, the last two are
+// static controls.
+func t12Probes() []service.Query {
+	eff3 := core.Ring(3)
+	return []service.Query{
+		{Op: service.OpAccess, Ring: 4, Segment: "data", Wordno: 3, Kind: core.AccessRead},
+		{Op: service.OpAccess, Ring: 1, Segment: "data", Kind: core.AccessWrite},
+		{Op: service.OpAccess, Ring: 3, Segment: "data", Kind: core.AccessWrite},
+		{Op: service.OpAccess, Ring: 2, Segment: "code", Kind: core.AccessExecute},
+		{Op: service.OpCall, Ring: 4, Segment: "code", Wordno: 1},
+		{Op: service.OpCall, Ring: 0, Segment: "code", Wordno: 0},
+		{Op: service.OpReturn, Ring: 2, Segment: "code", EffRing: &eff3},
+		{Op: service.OpEffRing, Ring: 1, Chain: []service.ChainStep{{Ring: 0, Segno: 0}}},
+		{Op: service.OpAccess, Ring: 5, Segment: "secret", Kind: core.AccessRead},
+		{Op: service.OpAccess, Ring: 7, Segment: "lib", Kind: core.AccessExecute},
+	}
+}
+
+// t12Strip clears the fields that legitimately differ between a
+// concurrent decision and its oracle counterpart.
+func t12Strip(d service.Decision) service.Decision {
+	d.VersionLo, d.VersionHi, d.Worker = 0, 0, 0
+	return d
+}
+
+func init() {
+	register("T12", "decision service: concurrent workers vs. single-threaded oracle", func(r *Result) error {
+		const (
+			workers   = 4
+			clients   = 4
+			rounds    = 40
+			mutations = 400
+		)
+		ctx := context.Background()
+
+		st, err := service.NewStore(service.StoreConfig{}, t12Segments())
+		if err != nil {
+			return err
+		}
+		svc, err := service.New(st, service.Config{Workers: workers, QueueDepth: 128, CacheSize: 64})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+
+		probes := t12Probes()
+		script := t12Script(mutations)
+
+		// Load phase: in every round, the clients' batches race one slice
+		// of the edit script. Within a round the interleaving is up to the
+		// scheduler; the round barrier guarantees that edits land between
+		// batches across the run even on a single-CPU host, so later
+		// batches must observe them (and the workers' associative memories
+		// must take the shootdowns).
+		type obs struct{ ds []service.Decision }
+		results := make(chan obs, clients*rounds)
+		errs := make(chan error, clients+1)
+		var shedCount atomic.Uint64
+		perRound := mutations / rounds
+		for round := 0; round < rounds; round++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ds, err := svc.Submit(ctx, probes)
+					if err == service.ErrQueueFull {
+						shedCount.Add(1)
+						return
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					results <- obs{ds}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, m := range script[round*perRound : (round+1)*perRound] {
+					if err := m(st); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		}
+		close(results)
+		select {
+		case err := <-errs:
+			return err
+		default:
+		}
+		if got := st.Version(); got != 2*mutations {
+			return fmt.Errorf("final store version %d, want %d", got, 2*mutations)
+		}
+
+		// Oracle phase: a fresh store stepped through the same script,
+		// served by a single uncached worker, answers each probe at every
+		// state k.
+		ost, err := service.NewStore(service.StoreConfig{}, t12Segments())
+		if err != nil {
+			return err
+		}
+		osvc, err := service.New(ost, service.Config{Workers: 1, CacheSize: 0, CacheSet: true})
+		if err != nil {
+			return err
+		}
+		defer osvc.Close()
+		oracle := make([][]service.Decision, mutations+1)
+		for k := 0; k <= mutations; k++ {
+			if k > 0 {
+				if err := script[k-1](ost); err != nil {
+					return fmt.Errorf("oracle mutation %d: %v", k, err)
+				}
+			}
+			ds, err := osvc.Submit(ctx, probes)
+			if err != nil {
+				return fmt.Errorf("oracle state %d: %v", k, err)
+			}
+			oracle[k] = make([]service.Decision, len(ds))
+			for i, d := range ds {
+				oracle[k][i] = t12Strip(d)
+			}
+		}
+
+		// Verdict: every concurrent decision must equal the oracle at
+		// some state within its epoch interval.
+		checked, clean, overlapped := 0, 0, 0
+		for o := range results {
+			for i, d := range o.ds {
+				lo, hi := d.VersionLo, d.VersionHi
+				if hi < lo {
+					return fmt.Errorf("probe %d: epoch interval [%d,%d] runs backwards", i, lo, hi)
+				}
+				if lo == hi && lo%2 == 0 {
+					clean++
+				} else {
+					overlapped++
+				}
+				got := t12Strip(d)
+				matched := false
+				for k := lo / 2; k <= (hi+1)/2 && !matched; k++ {
+					matched = got == oracle[k][i]
+				}
+				if !matched {
+					return fmt.Errorf("probe %d: concurrent decision %+v matches no oracle state in [%d,%d]",
+						i, got, lo/2, (hi+1)/2)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			return fmt.Errorf("no decisions to check")
+		}
+
+		snap := svc.Snapshot()
+		if snap.Cache.Hits == 0 || snap.Cache.Misses == 0 {
+			return fmt.Errorf("/metrics reports idle caches: %+v", snap.Cache)
+		}
+		if snap.Cache.Shootdowns == 0 {
+			return fmt.Errorf("no shootdowns despite %d descriptor edits", mutations)
+		}
+		if len(snap.LatencyNs) == 0 {
+			return fmt.Errorf("/metrics reports an empty latency histogram")
+		}
+
+		r.addf("%d workers (one MMU + SDW associative memory each), %d clients x %d probe batches,",
+			workers, clients, rounds)
+		r.addf("%d descriptor edits streamed through StoreSDW while deciding", mutations)
+		r.addf("")
+		r.addf("decisions checked against oracle: %d (every one identical at some", checked)
+		r.addf("state within its epoch interval; %d clean snapshots, %d overlapping", clean, overlapped)
+		r.addf("an edit, %d batches shed by backpressure)", shedCount.Load())
+		r.addf("")
+		r.addf("per-worker SDW associative memories:")
+		r.addf("%-8s %10s %10s %8s %12s", "worker", "hits", "misses", "hit%", "shootdowns")
+		for i, c := range snap.PerWorkerCache {
+			r.addf("%-8d %10d %10d %7.1f%% %12d", i, c.Hits, c.Misses, 100*c.HitRate, c.Shootdowns)
+		}
+		r.addf("")
+		r.addf("decision mix: %d allowed, %d denied, %d trapped; faults by kind:",
+			snap.Allowed, snap.Denied, snap.Trapped)
+		for kind, n := range snap.Faults {
+			r.addf("  %-50s %8d", kind, n)
+		}
+		r.addf("")
+		r.addf("batch latency histogram: %d non-empty power-of-two buckets", len(snap.LatencyNs))
+		r.addf("")
+		r.addf("the associative memories stay coherent under concurrent descriptor")
+		r.addf("edits: shootdowns invalidate before the closing epoch bump, so a")
+		r.addf("clean-snapshot decision is bit-identical to the sequential oracle")
+
+		r.metric("workers", workers)
+		r.metric("decisions", float64(checked))
+		r.metric("oracle_states", float64(mutations+1))
+		r.metric("clean_fraction", float64(clean)/float64(checked))
+		r.metric("shed_batches", float64(shedCount.Load()))
+		if total := snap.Cache.Hits + snap.Cache.Misses; total > 0 {
+			r.metric("cache_hit_rate", float64(snap.Cache.Hits)/float64(total))
+		}
+		r.metric("shootdowns", float64(snap.Cache.Shootdowns))
+		r.metric("latency_buckets", float64(len(snap.LatencyNs)))
+		return nil
+	})
+}

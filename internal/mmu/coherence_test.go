@@ -1,0 +1,163 @@
+package mmu_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/seg"
+)
+
+// newBenchUnits is newUnits without the testing.T plumbing: n MMUs over
+// one shared word-atomic core, one coherence group.
+func newBenchUnits(n, cacheSize int) []*mmu.MMU {
+	m := mem.NewAtomic(1 << 14)
+	g := mmu.NewGroup()
+	units := make([]*mmu.MMU, n)
+	for i := range units {
+		u := mmu.New(m, mmu.Options{Validate: true, CacheSize: cacheSize})
+		u.SetDBR(seg.DBR{Addr: 0, Bound: 32})
+		g.Join(u)
+		units[i] = u
+	}
+	return units
+}
+
+// BenchmarkGroupShootdown measures cross-processor invalidation
+// latency: one member edits a descriptor through StoreSDW (posting the
+// shootdown to every other member) and every other member then fetches
+// the same descriptor, paying the generation check, the drain, and the
+// refill miss. This is the full propagation cost of one descriptor edit
+// across the machine.
+func BenchmarkGroupShootdown(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			units := newBenchUnits(n, 8)
+			editor := units[0]
+			if err := editor.StoreSDW(1, sdwA); err != nil {
+				b.Fatal(err)
+			}
+			// Warm every cache so each iteration's fetch after the edit
+			// is a genuine shootdown-induced miss, not a cold one.
+			for _, u := range units {
+				if _, err := u.FetchSDW(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := sdwA
+				next.Bound = 16 + uint32(i%16)
+				if err := editor.StoreSDW(1, next); err != nil {
+					b.Fatal(err)
+				}
+				for _, u := range units[1:] {
+					if _, err := u.FetchSDW(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupFetchQuiescent is the control: the same fetch with no
+// edit pending, i.e. the mutex-free fast path (one atomic generation
+// load plus the cache hit).
+func BenchmarkGroupFetchQuiescent(b *testing.B) {
+	units := newBenchUnits(2, 8)
+	if err := units[0].StoreSDW(1, sdwA); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := units[1].FetchSDW(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := units[1].FetchSDW(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentStoreSDWAndLookup drives the service-mutation pattern
+// under the race detector: one supervisor goroutine editing a
+// descriptor through StoreSDW while reader goroutines, each owning its
+// own MMU in the same group, fetch and validate against it. The two
+// states the mutator alternates between differ only in their bracket
+// fields — a single core word — so every fetch must decode to exactly
+// one of them; anything else is a torn read or a stale cache.
+func TestConcurrentStoreSDWAndLookup(t *testing.T) {
+	const (
+		readers  = 4
+		edits    = 2000
+		perentry = 64 // reader fetches per observed generation
+	)
+	units := newUnits(t, readers+1)
+	editor := units[0]
+
+	wide := seg.SDW{
+		Present: true, Addr: 0o1000, Bound: 16, Read: true,
+		Brackets: core.Brackets{R1: 5, R2: 5, R3: 7},
+	}
+	narrow := wide
+	narrow.Brackets = core.Brackets{R1: 1, R2: 1, R3: 7}
+
+	if err := editor.StoreSDW(2, wide); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int, u *mmu.MMU) {
+			defer wg.Done()
+			for !stop.Load() {
+				for j := 0; j < perentry; j++ {
+					sdw, err := u.FetchSDW(2)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if sdw != wide && sdw != narrow {
+						errs[i] = fmt.Errorf("reader %d: torn or stale SDW %v", i, sdw)
+						return
+					}
+					// Validation must agree with whichever state was
+					// observed: ring 4 reads inside the wide read
+					// bracket, outside the narrow one.
+					viol := u.CheckRead(sdw.View(), 2, 3, 4)
+					if inWide := sdw == wide; inWide != (viol == nil) {
+						errs[i] = fmt.Errorf("reader %d: state/validation mismatch: %v vs %v", i, sdw, viol)
+						return
+					}
+				}
+			}
+		}(i, units[i+1])
+	}
+
+	for e := 0; e < edits; e++ {
+		next := narrow
+		if e%2 == 0 {
+			next = wide
+		}
+		if err := editor.StoreSDW(2, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -82,6 +82,21 @@ type Options struct {
 	Sink Sink
 }
 
+// Check reports whether the options are well-formed. The only
+// constraint is the associative memory geometry: CacheSize must be zero
+// (disabled) or a power of two, because the direct-mapped index is a
+// mask. The error names the offending value so callers wiring sizes
+// from configuration can report it.
+func (o Options) Check() error {
+	if o.CacheSize < 0 {
+		return fmt.Errorf("mmu: SDW cache size %d is negative; want 0 (disabled) or a power of two", o.CacheSize)
+	}
+	if o.CacheSize&(o.CacheSize-1) != 0 {
+		return fmt.Errorf("mmu: SDW cache size %d is not a power of two (0 disables the associative memory)", o.CacheSize)
+	}
+	return nil
+}
+
 // CacheStats reports associative memory performance and coherence
 // traffic.
 type CacheStats struct {
@@ -143,12 +158,14 @@ type MMU struct {
 	ownCycles uint64 // charge target when no external counter is attached
 }
 
-// New returns an MMU over storage m. It panics if Options.CacheSize is
-// negative or not a power of two (a construction-time programming
-// error, like a non-positive memory size).
+// New returns an MMU over storage m. It panics if Options.Check
+// rejects opt (a construction-time programming error, like a
+// non-positive memory size); callers wiring options from run-time
+// configuration should call Options.Check themselves and report the
+// error.
 func New(m mem.Store, opt Options) *MMU {
-	if opt.CacheSize < 0 || opt.CacheSize&(opt.CacheSize-1) != 0 {
-		panic(fmt.Sprintf("mmu: cache size %d is not a power of two", opt.CacheSize))
+	if err := opt.Check(); err != nil {
+		panic(err.Error())
 	}
 	u := &MMU{Mem: m, opt: opt, sink: opt.Sink}
 	if u.sink == nil {

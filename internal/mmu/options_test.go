@@ -1,0 +1,63 @@
+package mmu_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/mmu"
+)
+
+// TestOptionsCheck is the table test for the associative-memory
+// geometry rule: sizes must be 0 or a power of two, and a rejected size
+// must be named in the error so configuration mistakes are diagnosable.
+func TestOptionsCheck(t *testing.T) {
+	cases := []struct {
+		size int
+		ok   bool
+	}{
+		{size: 0, ok: true},
+		{size: 1, ok: true},
+		{size: 2, ok: true},
+		{size: 64, ok: true},
+		{size: 1 << 16, ok: true},
+		{size: -1, ok: false},
+		{size: -64, ok: false},
+		{size: 3, ok: false},
+		{size: 12, ok: false},
+		{size: 33, ok: false},
+		{size: 1<<16 + 1, ok: false},
+	}
+	for _, tc := range cases {
+		err := mmu.Options{CacheSize: tc.size}.Check()
+		if tc.ok {
+			if err != nil {
+				t.Errorf("Check(CacheSize=%d) = %v, want nil", tc.size, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Check(CacheSize=%d) accepted", tc.size)
+			continue
+		}
+		if !strings.Contains(err.Error(), strconv.Itoa(tc.size)) {
+			t.Errorf("Check(CacheSize=%d) error %q does not name the offending size", tc.size, err)
+		}
+	}
+}
+
+// TestNewPanicMessageNamesSize pins the construction-time panic to the
+// same diagnostic: it must carry the offending value.
+func TestNewPanicMessageNamesSize(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New(CacheSize: 12) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "12") {
+			t.Errorf("panic %v does not name the offending size", r)
+		}
+	}()
+	mmu.New(nil, mmu.Options{CacheSize: 12})
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/trace"
+)
+
+// violationKinds is the number of distinct ViolationKind values
+// (ViolationNone through ViolationRingAlarm).
+const violationKinds = int(core.ViolationRingAlarm) + 1
+
+// latencyBuckets is the number of power-of-two latency histogram
+// buckets; bucket i counts batches whose queue-to-completion latency
+// lay in [2^i, 2^(i+1)) nanoseconds.
+const latencyBuckets = 32
+
+// Metrics is the service's always-on instrumentation: decision counts,
+// faults by kind, backpressure rejections, and a power-of-two latency
+// histogram. All counters are atomic; readers see a monitoring-grade
+// (not transactionally consistent) view.
+type Metrics struct {
+	batches  atomic.Uint64
+	queries  atomic.Uint64
+	rejected atomic.Uint64
+	allowed  atomic.Uint64
+	denied   atomic.Uint64
+	errors   atomic.Uint64
+	trapped  atomic.Uint64
+
+	opAccess  atomic.Uint64
+	opCall    atomic.Uint64
+	opReturn  atomic.Uint64
+	opEffRing atomic.Uint64
+	opOther   atomic.Uint64
+
+	faults  [violationKinds]atomic.Uint64
+	latency [latencyBuckets]atomic.Uint64
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// count tallies one decision.
+func (m *Metrics) count(op Op, d *Decision) {
+	m.queries.Add(1)
+	switch op {
+	case OpAccess:
+		m.opAccess.Add(1)
+	case OpCall:
+		m.opCall.Add(1)
+	case OpReturn:
+		m.opReturn.Add(1)
+	case OpEffRing:
+		m.opEffRing.Add(1)
+	default:
+		m.opOther.Add(1)
+	}
+	switch {
+	case d.Err != "":
+		m.errors.Add(1)
+	case d.Allowed:
+		m.allowed.Add(1)
+		if d.Trapped {
+			m.trapped.Add(1)
+		}
+	default:
+		m.denied.Add(1)
+		if k := int(d.ViolationKind); k >= 0 && k < violationKinds {
+			m.faults[k].Add(1)
+		}
+	}
+}
+
+// observe tallies one completed batch and its queue-to-completion
+// latency.
+func (m *Metrics) observe(b *batch, _ []Decision) {
+	m.batches.Add(1)
+	ns := time.Since(b.enqueued).Nanoseconds()
+	bucket := 0
+	for v := ns; v > 1 && bucket < latencyBuckets-1; v >>= 1 {
+		bucket++
+	}
+	m.latency[bucket].Add(1)
+}
+
+// LatencyBucket is one non-empty histogram bucket.
+type LatencyBucket struct {
+	// LoNs and HiNs bound the bucket: [LoNs, HiNs) nanoseconds.
+	LoNs  int64  `json:"lo_ns"`
+	HiNs  int64  `json:"hi_ns"`
+	Count uint64 `json:"count"`
+}
+
+// CacheSnapshot sums the workers' SDW associative memory counters.
+type CacheSnapshot struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Invalidations uint64  `json:"invalidations"`
+	Flushes       uint64  `json:"flushes"`
+	Shootdowns    uint64  `json:"shootdowns"`
+}
+
+// Snapshot is one /metrics observation.
+type Snapshot struct {
+	Workers  int    `json:"workers"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	Version  uint64 `json:"version"`
+	Batches  uint64 `json:"batches"`
+	Queries  uint64 `json:"queries"`
+	Rejected uint64 `json:"rejected"`
+	Allowed  uint64 `json:"allowed"`
+	Denied   uint64 `json:"denied"`
+	Errors   uint64 `json:"errors"`
+	Trapped  uint64 `json:"trapped"`
+	// Ops counts queries per operation.
+	Ops map[string]uint64 `json:"ops"`
+	// Faults counts denials per architectural violation kind.
+	Faults map[string]uint64 `json:"faults"`
+	// Cache sums the per-worker SDW associative memories.
+	Cache CacheSnapshot `json:"cache"`
+	// PerWorkerCache lists each worker's own counters (one simulated
+	// processor each).
+	PerWorkerCache []CacheSnapshot `json:"per_worker_cache"`
+	// Events tallies trace events by kind across all workers, fed from
+	// the zero-alloc mmu.Sink each worker's unit records into.
+	Events map[string]uint64 `json:"events"`
+	// LatencyNs is the non-empty part of the batch latency histogram.
+	LatencyNs []LatencyBucket `json:"latency_ns"`
+}
+
+// Metrics returns the service's counters (live; reads are atomic).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Events returns the shared trace-event counters every worker's MMU
+// records into.
+func (s *Service) Events() *trace.AtomicCounters { return s.events }
+
+// CacheStats sums the workers' published SDW cache counters.
+func (s *Service) CacheStats() mmu.CacheStats {
+	var sum mmu.CacheStats
+	for _, w := range s.workers {
+		w.statsMu.Lock()
+		st := w.published
+		w.statsMu.Unlock()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Invalidations += st.Invalidations
+		sum.Flushes += st.Flushes
+		sum.Shootdowns += st.Shootdowns
+	}
+	return sum
+}
+
+// Snapshot assembles the full /metrics view.
+func (s *Service) Snapshot() Snapshot {
+	m := s.metrics
+	snap := Snapshot{
+		Workers:  len(s.workers),
+		QueueLen: len(s.queue),
+		QueueCap: cap(s.queue),
+		Version:  s.store.Version(),
+		Batches:  m.batches.Load(),
+		Queries:  m.queries.Load(),
+		Rejected: m.rejected.Load(),
+		Allowed:  m.allowed.Load(),
+		Denied:   m.denied.Load(),
+		Errors:   m.errors.Load(),
+		Trapped:  m.trapped.Load(),
+		Ops: map[string]uint64{
+			string(OpAccess):  m.opAccess.Load(),
+			string(OpCall):    m.opCall.Load(),
+			string(OpReturn):  m.opReturn.Load(),
+			string(OpEffRing): m.opEffRing.Load(),
+		},
+		Faults: map[string]uint64{},
+		Events: map[string]uint64{},
+	}
+	if n := m.opOther.Load(); n > 0 {
+		snap.Ops["other"] = n
+	}
+	for k := 0; k < violationKinds; k++ {
+		if n := m.faults[k].Load(); n > 0 {
+			snap.Faults[core.ViolationKind(k).String()] = n
+		}
+	}
+	for k := 0; k < trace.KindCount; k++ {
+		if n := s.events.Of(trace.Kind(k)); n > 0 {
+			snap.Events[trace.Kind(k).String()] = n
+		}
+	}
+	for _, w := range s.workers {
+		w.statsMu.Lock()
+		st := w.published
+		w.statsMu.Unlock()
+		snap.Cache.Hits += st.Hits
+		snap.Cache.Misses += st.Misses
+		snap.Cache.Invalidations += st.Invalidations
+		snap.Cache.Flushes += st.Flushes
+		snap.Cache.Shootdowns += st.Shootdowns
+		snap.PerWorkerCache = append(snap.PerWorkerCache, CacheSnapshot{
+			Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate(),
+			Invalidations: st.Invalidations, Flushes: st.Flushes, Shootdowns: st.Shootdowns,
+		})
+	}
+	if total := snap.Cache.Hits + snap.Cache.Misses; total > 0 {
+		snap.Cache.HitRate = float64(snap.Cache.Hits) / float64(total)
+	}
+	for i := 0; i < latencyBuckets; i++ {
+		if n := m.latency[i].Load(); n > 0 {
+			lo := int64(1) << i
+			if i == 0 {
+				lo = 0
+			}
+			snap.LatencyNs = append(snap.LatencyNs, LatencyBucket{
+				LoNs: lo, HiNs: int64(1) << (i + 1), Count: n,
+			})
+		}
+	}
+	return snap
+}

@@ -1,0 +1,449 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/trace"
+)
+
+// Op names a protection query kind.
+type Op string
+
+const (
+	// OpAccess validates a read, write or instruction-fetch reference.
+	OpAccess Op = "access"
+	// OpCall evaluates the CALL decision of Figure 8: gate list, bracket
+	// placement, and the resulting ring switch.
+	OpCall Op = "call"
+	// OpReturn evaluates the RETURN decision of Figure 9.
+	OpReturn Op = "return"
+	// OpEffRing computes the effective ring of an address chain per
+	// Figure 5: the running max over pointer-register and indirect-word
+	// contributions.
+	OpEffRing Op = "effring"
+)
+
+// ChainStep is one contribution to effective-ring formation.
+type ChainStep struct {
+	// PR marks a pointer-register contribution (TPR.RING :=
+	// max(TPR.RING, PRn.RING)); otherwise the step is an indirect-word
+	// retrieval from the segment Segno, contributing both the indirect
+	// word's ring field and the container's R1.
+	PR    bool   `json:"pr,omitempty"`
+	Ring  Ring   `json:"ring"`
+	Segno uint32 `json:"segno,omitempty"`
+}
+
+// Ring aliases core.Ring for the wire types.
+type Ring = core.Ring
+
+// Query is one protection question.
+type Query struct {
+	Op Op `json:"op"`
+	// Ring is the ring of execution (IPR.RING) for access/call/return,
+	// the starting effective ring for effring.
+	Ring Ring `json:"ring"`
+	// Segment names the target segment; when empty, Segno is used
+	// directly (numbers at or beyond the descriptor bound decide as
+	// missing segments, exactly as the hardware would).
+	Segment string `json:"segment,omitempty"`
+	Segno   uint32 `json:"segno,omitempty"`
+	// Wordno is the target word number.
+	Wordno uint32 `json:"wordno,omitempty"`
+	// Kind selects the access kind for OpAccess.
+	Kind core.AccessKind `json:"kind,omitempty"`
+	// EffRing is the effective ring of the operand address (TPR.RING)
+	// for call/return; nil means equal to Ring.
+	EffRing *Ring `json:"eff_ring,omitempty"`
+	// SameSegment marks a call whose target lies in the segment
+	// containing the CALL itself (the gate list is then ignored).
+	SameSegment bool `json:"same_segment,omitempty"`
+	// Chain is the address chain for OpEffRing.
+	Chain []ChainStep `json:"chain,omitempty"`
+}
+
+// Decision is the service's answer to one Query.
+type Decision struct {
+	// Allowed reports that the reference (or transfer) is permitted.
+	Allowed bool `json:"allowed"`
+	// Violation is the architectural violation kind when not allowed
+	// (empty otherwise).
+	Violation string `json:"violation,omitempty"`
+	// ViolationKind is the machine-readable violation code.
+	ViolationKind core.ViolationKind `json:"violation_kind,omitempty"`
+	// Outcome reports the call/return classification ("same-ring call",
+	// "downward call", ...) for OpCall/OpReturn.
+	Outcome string `json:"outcome,omitempty"`
+	// NewRing is the resulting ring: the ring of execution after a
+	// call/return, or the final effective ring for OpEffRing.
+	NewRing Ring `json:"new_ring,omitempty"`
+	// Trapped reports an outcome the hardware does not automate (upward
+	// call, downward return): allowed, but mediated by software.
+	Trapped bool `json:"trapped,omitempty"`
+	// Err reports a malformed query (unknown op, unknown segment name).
+	Err string `json:"err,omitempty"`
+	// VersionLo and VersionHi bracket the store mutation epoch the
+	// decision was evaluated under: equal and even means a clean
+	// snapshot at that version (see the package comment).
+	VersionLo uint64 `json:"version_lo"`
+	VersionHi uint64 `json:"version_hi"`
+	// Worker is the index of the worker (simulated processor) that
+	// evaluated the decision.
+	Worker int `json:"worker"`
+}
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the number of decision workers, each with its own MMU
+	// and SDW associative memory; default 4.
+	Workers int
+	// QueueDepth bounds the batch queue; a full queue rejects Submit
+	// with ErrQueueFull (backpressure). Default 64.
+	QueueDepth int
+	// CacheSize is each worker's SDW associative memory size (power of
+	// two; 0 disables). Default 64.
+	CacheSize int
+	// CacheSet forces CacheSize to be honoured even when zero.
+	CacheSet bool
+	// Validate disables ring validation when false and ValidateSet is
+	// true (the T5 ablation, exposed for comparison runs).
+	Validate    bool
+	ValidateSet bool
+	// BatchLimit caps the number of queries per submitted batch;
+	// default 1024.
+	BatchLimit int
+}
+
+// Service errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity: the caller should shed or retry (HTTP maps it to 429).
+	ErrQueueFull = errors.New("service: decision queue full")
+	// ErrClosed is returned by Submit after Close (HTTP maps it to 503).
+	ErrClosed = errors.New("service: closed")
+	// ErrBatchTooLarge is returned when one batch exceeds BatchLimit.
+	ErrBatchTooLarge = errors.New("service: batch exceeds limit")
+)
+
+// batch is one queued unit of work.
+type batch struct {
+	queries  []Query
+	resp     chan []Decision
+	enqueued time.Time
+}
+
+// worker is one decision worker: a goroutine owning an MMU (and so an
+// SDW associative memory) joined to the store's coherence group.
+type worker struct {
+	index int
+	u     *mmu.MMU
+
+	// statsMu guards published, the worker's cache counters copied out
+	// after every batch so /metrics can read them without racing the
+	// owner goroutine.
+	statsMu   sync.Mutex
+	published mmu.CacheStats
+}
+
+// Service is the concurrent protection-decision engine: a worker pool
+// over one Store, fed by a bounded batch queue.
+type Service struct {
+	store   *Store
+	cfg     Config
+	queue   chan *batch
+	workers []*worker
+	events  *trace.AtomicCounters
+	metrics *Metrics
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	wg     sync.WaitGroup
+
+	// hold, when non-nil (tests), blocks each worker before every batch
+	// until the channel is closed — a deterministic way to fill the
+	// queue and exercise backpressure. A worker about to park first
+	// sends on holdAck (if set), so a test can wait for the park itself
+	// rather than inferring it from queue length.
+	hold    chan struct{}
+	holdAck chan struct{}
+}
+
+// New starts a Service over st: Config.Workers goroutines, each with
+// its own MMU joined to the store's coherence group.
+func New(st *Store, cfg Config) (*Service, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize == 0 && !cfg.CacheSet {
+		cfg.CacheSize = 64
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 1024
+	}
+	opt := mmu.Options{Validate: true, CacheSize: cfg.CacheSize}
+	if cfg.ValidateSet {
+		opt.Validate = cfg.Validate
+	}
+	if err := opt.Check(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		store:   st,
+		cfg:     cfg,
+		queue:   make(chan *batch, cfg.QueueDepth),
+		events:  &trace.AtomicCounters{},
+		metrics: newMetrics(),
+	}
+	opt.Sink = s.events
+	for i := 0; i < cfg.Workers; i++ {
+		u, err := st.NewWorkerMMU(opt)
+		if err != nil {
+			return nil, err
+		}
+		w := &worker{index: i, u: u}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go s.run(w)
+	}
+	return s, nil
+}
+
+// Store returns the descriptor store the service decides against.
+func (s *Service) Store() *Store { return s.store }
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return len(s.workers) }
+
+// QueueDepth returns the queue capacity.
+func (s *Service) QueueDepth() int { return cap(s.queue) }
+
+// QueueLen returns the current number of queued batches.
+func (s *Service) QueueLen() int { return len(s.queue) }
+
+// Submit enqueues one batch of queries and waits for its decisions.
+// When the bounded queue is full it fails fast with ErrQueueFull
+// rather than blocking — the backpressure contract. A cancelled
+// context abandons the wait (the batch still completes; its reply
+// channel is buffered, so no worker blocks).
+func (s *Service) Submit(ctx context.Context, queries []Query) ([]Decision, error) {
+	if len(queries) > s.cfg.BatchLimit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(queries), s.cfg.BatchLimit)
+	}
+	b := &batch{queries: queries, resp: make(chan []Decision, 1), enqueued: time.Now()}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- b:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case ds := <-b.resp:
+		return ds, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting work, lets the workers drain every queued
+// batch, and waits for them to exit. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// run is one worker's loop: drain batches until the queue closes.
+func (s *Service) run(w *worker) {
+	defer s.wg.Done()
+	for b := range s.queue {
+		if s.hold != nil {
+			if s.holdAck != nil {
+				s.holdAck <- struct{}{}
+			}
+			<-s.hold
+		}
+		ds := make([]Decision, len(b.queries))
+		for i := range b.queries {
+			ds[i] = s.decide(w, &b.queries[i])
+		}
+		s.metrics.observe(b, ds)
+		w.statsMu.Lock()
+		w.published = w.u.CacheStats()
+		w.statsMu.Unlock()
+		b.resp <- ds
+	}
+}
+
+// decide evaluates one query on worker w, bracketing it with the
+// store's mutation epoch.
+func (s *Service) decide(w *worker, q *Query) Decision {
+	d := Decision{Worker: w.index}
+	d.VersionLo = s.store.Version()
+	s.eval(w, q, &d)
+	d.VersionHi = s.store.Version()
+	s.metrics.count(q.Op, &d)
+	return d
+}
+
+// eval answers q into d using w's MMU.
+func (s *Service) eval(w *worker, q *Query, d *Decision) {
+	evalQuery(s.store, w.u, q, d)
+}
+
+// evalQuery answers q into d using unit u over store st — the whole
+// decision procedure, shared by the concurrent workers and by
+// single-threaded oracle replays (T12). Malformed queries set d.Err;
+// architectural outcomes (violations, traps) are regular decisions.
+func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
+	segno := q.Segno
+	if q.Segment != "" {
+		n, ok := st.Segno(q.Segment)
+		if !ok {
+			d.Err = fmt.Sprintf("unknown segment %q", q.Segment)
+			return
+		}
+		segno = n
+	}
+	if !q.Ring.Valid() {
+		d.Err = fmt.Sprintf("invalid ring %d", q.Ring)
+		return
+	}
+
+	switch q.Op {
+	case OpAccess:
+		sdw, err := u.FetchSDW(segno)
+		if err != nil {
+			d.Err = err.Error()
+			return
+		}
+		v := sdw.View()
+		var viol *core.Violation
+		switch q.Kind {
+		case core.AccessRead:
+			viol = u.CheckRead(v, segno, q.Wordno, q.Ring)
+		case core.AccessWrite:
+			viol = u.CheckWrite(v, segno, q.Wordno, q.Ring)
+		case core.AccessExecute:
+			viol = u.CheckFetch(v, q.Wordno, q.Ring)
+		default:
+			d.Err = fmt.Sprintf("invalid access kind %d", q.Kind)
+			return
+		}
+		d.setViolation(viol)
+
+	case OpCall:
+		effRing := q.Ring
+		if q.EffRing != nil {
+			effRing = *q.EffRing
+		}
+		if !effRing.Valid() {
+			d.Err = fmt.Sprintf("invalid effective ring %d", effRing)
+			return
+		}
+		sdw, err := u.FetchSDW(segno)
+		if err != nil {
+			d.Err = err.Error()
+			return
+		}
+		dec, viol := u.DecideCall(sdw.View(), q.Wordno, q.Ring, effRing, q.SameSegment)
+		if viol != nil {
+			d.setViolation(viol)
+			return
+		}
+		d.Allowed = true
+		d.Outcome = dec.Outcome.String()
+		d.NewRing = dec.NewRing
+		d.Trapped = dec.Outcome == core.CallUpwardTrap
+
+	case OpReturn:
+		effRing := q.Ring
+		if q.EffRing != nil {
+			effRing = *q.EffRing
+		}
+		if !effRing.Valid() {
+			d.Err = fmt.Sprintf("invalid effective ring %d", effRing)
+			return
+		}
+		sdw, err := u.FetchSDW(segno)
+		if err != nil {
+			d.Err = err.Error()
+			return
+		}
+		dec, viol := u.DecideReturn(sdw.View(), q.Wordno, q.Ring, effRing)
+		if viol != nil {
+			d.setViolation(viol)
+			return
+		}
+		d.Allowed = true
+		d.Outcome = dec.Outcome.String()
+		d.NewRing = dec.NewRing
+		d.Trapped = dec.Outcome == core.ReturnDownwardTrap
+
+	case OpEffRing:
+		eff := q.Ring
+		for _, step := range q.Chain {
+			if !step.Ring.Valid() {
+				d.Err = fmt.Sprintf("invalid ring %d in chain", step.Ring)
+				return
+			}
+			if step.PR {
+				eff = core.EffectiveRingPR(eff, step.Ring)
+				continue
+			}
+			sdw, err := u.FetchSDW(step.Segno)
+			if err != nil {
+				d.Err = err.Error()
+				return
+			}
+			v := sdw.View()
+			// The indirect word itself is read during effective address
+			// formation, validated like any operand read (Figure 5).
+			if viol := u.CheckRead(v, step.Segno, 0, eff); viol != nil {
+				d.setViolation(viol)
+				return
+			}
+			eff = core.EffectiveRingIndirect(eff, step.Ring, v.R1)
+		}
+		d.Allowed = true
+		d.NewRing = eff
+
+	default:
+		d.Err = fmt.Sprintf("unknown op %q", q.Op)
+	}
+}
+
+// setViolation fills the violation fields (allowed when viol is nil).
+func (d *Decision) setViolation(viol *core.Violation) {
+	if viol == nil {
+		d.Allowed = true
+		return
+	}
+	d.Allowed = false
+	d.Violation = viol.Kind.String()
+	d.ViolationKind = viol.Kind
+}

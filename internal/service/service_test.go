@@ -1,0 +1,661 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+)
+
+// testSegments is the image most service tests run against:
+//
+//	0 "data"   R W -  brackets (2,4,4)          — a writable data segment
+//	1 "code"   R - E  brackets (1,3,5) gates 2  — a gated procedure segment
+//	2 "secret" R - -  brackets (0,1,1)          — readable only near ring 0
+func testSegments() []Segment {
+	return []Segment{
+		{Name: "data", Size: 16, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 2, R2: 4, R3: 4}},
+		{Name: "code", Size: 32, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 1, R2: 3, R3: 5}, Gates: 2},
+		{Name: "secret", Size: 8, Read: true,
+			Brackets: core.Brackets{R1: 0, R2: 1, R3: 1}},
+	}
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := New(st, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func ring(r core.Ring) *Ring { return &r }
+
+// TestDecisions checks the decision procedure for every op against the
+// paper's figures, through the full Submit path.
+func TestDecisions(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+
+	cases := []struct {
+		name string
+		q    Query
+		want Decision
+	}{
+		{"read data in bracket",
+			Query{Op: OpAccess, Ring: 4, Segment: "data", Wordno: 5, Kind: core.AccessRead},
+			Decision{Allowed: true}},
+		{"read data above bracket",
+			Query{Op: OpAccess, Ring: 5, Segment: "data", Kind: core.AccessRead},
+			Decision{ViolationKind: core.ViolationReadBracket}},
+		{"write data in bracket",
+			Query{Op: OpAccess, Ring: 2, Segment: "data", Kind: core.AccessWrite},
+			Decision{Allowed: true}},
+		{"write data above bracket",
+			Query{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessWrite},
+			Decision{ViolationKind: core.ViolationWriteBracket}},
+		{"write read-only segment",
+			Query{Op: OpAccess, Ring: 0, Segment: "secret", Kind: core.AccessWrite},
+			Decision{ViolationKind: core.ViolationNoWrite}},
+		{"fetch code in bracket",
+			Query{Op: OpAccess, Ring: 2, Segment: "code", Kind: core.AccessExecute},
+			Decision{Allowed: true}},
+		{"fetch code below bracket",
+			Query{Op: OpAccess, Ring: 0, Segment: "code", Kind: core.AccessExecute},
+			Decision{ViolationKind: core.ViolationExecuteBracket}},
+		{"fetch non-executable segment",
+			Query{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessExecute},
+			Decision{ViolationKind: core.ViolationNoExecute}},
+		{"read beyond bound",
+			Query{Op: OpAccess, Ring: 3, Segment: "data", Wordno: 16, Kind: core.AccessRead},
+			Decision{ViolationKind: core.ViolationBound}},
+		{"read unknown segno",
+			Query{Op: OpAccess, Ring: 3, Segno: 99, Kind: core.AccessRead},
+			Decision{ViolationKind: core.ViolationMissingSegment}},
+
+		{"downward call through gate",
+			Query{Op: OpCall, Ring: 4, Segment: "code", Wordno: 1},
+			Decision{Allowed: true, Outcome: "downward call", NewRing: 3}},
+		{"same-ring call to gate",
+			Query{Op: OpCall, Ring: 2, Segment: "code", Wordno: 1},
+			Decision{Allowed: true, Outcome: "same-ring call", NewRing: 2}},
+		{"call to non-gate word",
+			Query{Op: OpCall, Ring: 2, Segment: "code", Wordno: 5},
+			Decision{ViolationKind: core.ViolationNotAGate}},
+		{"same-segment call ignores gate list",
+			Query{Op: OpCall, Ring: 2, Segment: "code", Wordno: 5, SameSegment: true},
+			Decision{Allowed: true, Outcome: "same-ring call", NewRing: 2}},
+		{"upward call traps",
+			Query{Op: OpCall, Ring: 0, Segment: "code", Wordno: 0},
+			Decision{Allowed: true, Outcome: "upward call (trap)", NewRing: 1, Trapped: true}},
+		{"call from above gate extension",
+			Query{Op: OpCall, Ring: 6, Segment: "code", Wordno: 0},
+			Decision{ViolationKind: core.ViolationGateExtension}},
+		{"disguised upward call",
+			Query{Op: OpCall, Ring: 2, Segment: "code", Wordno: 0, EffRing: ring(4)},
+			Decision{ViolationKind: core.ViolationRingAlarm}},
+
+		{"same-ring return",
+			Query{Op: OpReturn, Ring: 3, Segment: "code"},
+			Decision{Allowed: true, Outcome: "same-ring return", NewRing: 3}},
+		{"upward return",
+			Query{Op: OpReturn, Ring: 2, Segment: "code", EffRing: ring(3)},
+			Decision{Allowed: true, Outcome: "upward return", NewRing: 3}},
+		{"downward return traps",
+			Query{Op: OpReturn, Ring: 3, Segment: "code", EffRing: ring(1)},
+			Decision{Allowed: true, Outcome: "downward return (trap)", NewRing: 1, Trapped: true}},
+
+		{"effective ring over chain",
+			Query{Op: OpEffRing, Ring: 2, Chain: []ChainStep{
+				{PR: true, Ring: 3},
+				{Ring: 1, Segno: 0}, // indirect word in "data": R1=2
+			}},
+			Decision{Allowed: true, NewRing: 3}},
+		{"chain read violation",
+			Query{Op: OpEffRing, Ring: 4, Chain: []ChainStep{{Ring: 0, Segno: 2}}},
+			Decision{ViolationKind: core.ViolationReadBracket}},
+	}
+
+	queries := make([]Query, len(cases))
+	for i, c := range cases {
+		queries[i] = c.q
+	}
+	ds, err := svc.Submit(context.Background(), queries)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for i, c := range cases {
+		got := ds[i]
+		if got.Err != "" {
+			t.Errorf("%s: unexpected query error %q", c.name, got.Err)
+			continue
+		}
+		if got.VersionLo != 0 || got.VersionHi != 0 {
+			t.Errorf("%s: version interval [%d,%d] on an unmutated store", c.name, got.VersionLo, got.VersionHi)
+		}
+		want := c.want
+		want.Violation = want.ViolationKind.String()
+		if want.ViolationKind == core.ViolationNone {
+			want.Violation = ""
+		}
+		got.VersionLo, got.VersionHi, got.Worker = 0, 0, 0
+		if got != want {
+			t.Errorf("%s: got %+v, want %+v", c.name, got, want)
+		}
+	}
+}
+
+// TestQueryErrors checks that malformed queries come back as Err, not
+// violations.
+func TestQueryErrors(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	bad := []Query{
+		{Op: OpAccess, Ring: 3, Segment: "nonesuch", Kind: core.AccessRead},
+		{Op: "frobnicate", Ring: 3, Segment: "data"},
+		{Op: OpAccess, Ring: 8, Segment: "data", Kind: core.AccessRead},
+		{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessKind(9)},
+		{Op: OpCall, Ring: 3, Segment: "code", EffRing: ring(12)},
+		{Op: OpEffRing, Ring: 3, Chain: []ChainStep{{PR: true, Ring: 9}}},
+	}
+	ds, err := svc.Submit(context.Background(), bad)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for i, d := range ds {
+		if d.Err == "" {
+			t.Errorf("query %d: want Err, got %+v", i, d)
+		}
+		if d.Allowed {
+			t.Errorf("query %d: malformed query allowed", i)
+		}
+	}
+	if got := svc.Metrics().errors.Load(); got != uint64(len(bad)) {
+		t.Errorf("errors counter = %d, want %d", got, len(bad))
+	}
+}
+
+// TestBatchLimit checks the per-batch cap.
+func TestBatchLimit(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1, BatchLimit: 2})
+	qs := make([]Query, 3)
+	for i := range qs {
+		qs[i] = Query{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessRead}
+	}
+	if _, err := svc.Submit(context.Background(), qs); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("Submit(3) with BatchLimit 2: err = %v, want ErrBatchTooLarge", err)
+	}
+	if _, err := svc.Submit(context.Background(), qs[:2]); err != nil {
+		t.Fatalf("Submit(2): %v", err)
+	}
+}
+
+// TestBackpressure fills the bounded queue behind a held worker and
+// checks that Submit sheds with ErrQueueFull, then that held work
+// completes once released.
+func TestBackpressure(t *testing.T) {
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := New(st, Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	hold := make(chan struct{})
+	ack := make(chan struct{}, 4)
+	svc.hold, svc.holdAck = hold, ack
+	var once sync.Once
+	release := func() { once.Do(func() { close(hold) }) }
+	defer release() // a Fatal below must not leave Close waiting on a parked worker
+
+	qs := []Query{{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessRead}}
+	results := make(chan error, 2)
+	submit := func() {
+		_, err := svc.Submit(context.Background(), qs)
+		results <- err
+	}
+
+	// First batch: the worker pulls it and parks on hold (the ack tells
+	// us the park has happened, so this cannot race the next submit).
+	go submit()
+	<-ack
+
+	// Second batch: sits in the queue; the worker cannot pull it.
+	go submit()
+	waitFor(t, "second batch to queue", func() bool { return svc.QueueLen() == 1 })
+
+	// Third batch: queue full — backpressure.
+	if _, err := svc.Submit(context.Background(), qs); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue: err = %v, want ErrQueueFull", err)
+	}
+	if got := svc.Snapshot().Rejected; got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+
+	// Release the worker: both held batches complete without error.
+	release()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Errorf("held batch %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("held batches did not complete after release")
+		}
+	}
+}
+
+// TestSubmitContextCancelled checks that an abandoned wait returns the
+// context error while the batch still completes (buffered reply).
+func TestSubmitContextCancelled(t *testing.T) {
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := New(st, Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hold := make(chan struct{})
+	svc.hold = hold
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := []Query{{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessRead}}
+	if _, err := svc.Submit(ctx, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The worker must still be able to drain the abandoned batch and
+	// exit: Close would hang otherwise.
+	close(hold)
+	svc.Close()
+}
+
+// TestGracefulShutdown checks that Close drains queued work and that
+// Submit afterwards reports ErrClosed.
+func TestGracefulShutdown(t *testing.T) {
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := New(st, Config{Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	qs := []Query{{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessRead}}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := svc.Submit(context.Background(), qs)
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait() // all in-flight work done before Close
+	svc.Close()
+	svc.Close() // idempotent
+
+	for _, err := range errs {
+		if err != nil {
+			t.Errorf("pre-close Submit: %v", err)
+		}
+	}
+	if _, err := svc.Submit(context.Background(), qs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// oracleScript is the fixed mutation sequence the concurrent oracle test
+// replays: each mutation changes only the even word of its descriptor
+// (brackets or the present bit), so a concurrent word-atomic reader sees
+// exactly the before or the after state, never a torn descriptor.
+func oracleScript(n int) []func(st *Store) error {
+	wide := core.Brackets{R1: 2, R2: 4, R3: 4}
+	narrow := core.Brackets{R1: 0, R2: 1, R3: 1}
+	muts := make([]func(st *Store) error, n)
+	for i := range muts {
+		switch i % 4 {
+		case 0:
+			muts[i] = func(st *Store) error { return st.SetBrackets(0, true, true, false, narrow, 0) }
+		case 1:
+			muts[i] = func(st *Store) error { return st.Revoke(1) }
+		case 2:
+			muts[i] = func(st *Store) error { return st.SetBrackets(0, true, true, false, wide, 0) }
+		default:
+			muts[i] = func(st *Store) error { return st.Restore(1) }
+		}
+	}
+	return muts
+}
+
+// oracleQueries is the fixed probe batch whose decisions depend on the
+// mutated descriptors (data brackets, code presence).
+func oracleQueries() []Query {
+	return []Query{
+		{Op: OpAccess, Ring: 4, Segment: "data", Wordno: 3, Kind: core.AccessRead},
+		{Op: OpAccess, Ring: 1, Segment: "data", Kind: core.AccessWrite},
+		{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessWrite},
+		{Op: OpAccess, Ring: 2, Segment: "code", Kind: core.AccessExecute},
+		{Op: OpCall, Ring: 4, Segment: "code", Wordno: 1},
+		{Op: OpCall, Ring: 0, Segment: "code", Wordno: 0},
+		{Op: OpReturn, Ring: 2, Segment: "code", EffRing: ring(3)},
+		{Op: OpEffRing, Ring: 1, Chain: []ChainStep{{Ring: 0, Segno: 0}}},
+	}
+}
+
+// stripDecision clears the fields that legitimately differ between a
+// concurrent decision and its oracle counterpart.
+func stripDecision(d Decision) Decision {
+	d.VersionLo, d.VersionHi, d.Worker = 0, 0, 0
+	return d
+}
+
+// TestConcurrentOracle is the T12 acceptance property at test scale:
+// four workers answer a fixed probe batch while a supervisor goroutine
+// streams SetBrackets/Revoke mutations through StoreSDW. Every decision
+// reports the mutation-epoch interval it was evaluated under; replaying
+// the mutation script single-threaded, each concurrent decision must be
+// identical to the oracle's decision at some state within its interval.
+// Run with -race to also exercise the coherence protocol under the race
+// detector.
+func TestConcurrentOracle(t *testing.T) {
+	const (
+		mutations = 2000
+		rounds    = 50
+		clients   = 4
+	)
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := New(st, Config{Workers: 4, QueueDepth: 64, CacheSize: 16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+
+	script := oracleScript(mutations)
+	probes := oracleQueries()
+
+	// Concurrent phase: in every round the clients' batches race one
+	// slice of the mutation script. The round barrier guarantees edits
+	// interleave with decisions across the run even on a single-CPU
+	// host (within a round the scheduler decides).
+	type obs struct{ ds []Decision }
+	results := make(chan obs, clients*rounds)
+	perRound := mutations / rounds
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ds, err := svc.Submit(context.Background(), probes)
+				if err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						return // backpressure is a legal answer
+					}
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				results <- obs{ds}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, m := range script[round*perRound : (round+1)*perRound] {
+				if err := m(st); err != nil {
+					t.Errorf("mutation: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	}
+	close(results)
+
+	if got := st.Version(); got != 2*mutations {
+		t.Fatalf("final version = %d, want %d", got, 2*mutations)
+	}
+
+	// Oracle replay: a fresh store stepped through the same script, with
+	// one uncached MMU, gives the reference decision at every state.
+	oracleStore, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("oracle NewStore: %v", err)
+	}
+	oracleMMU, err := oracleStore.NewWorkerMMU(mmu.Options{Validate: true})
+	if err != nil {
+		t.Fatalf("oracle MMU: %v", err)
+	}
+	oracle := make([][]Decision, mutations+1) // oracle[k][i]: probe i at state k
+	for k := 0; k <= mutations; k++ {
+		if k > 0 {
+			if err := script[k-1](oracleStore); err != nil {
+				t.Fatalf("oracle mutation %d: %v", k, err)
+			}
+		}
+		oracle[k] = make([]Decision, len(probes))
+		for i := range probes {
+			evalQuery(oracleStore, oracleMMU, &probes[i], &oracle[k][i])
+		}
+	}
+
+	checked, clean := 0, 0
+	for o := range results {
+		for i, d := range o.ds {
+			lo, hi := d.VersionLo, d.VersionHi
+			if hi < lo {
+				t.Fatalf("probe %d: version interval [%d,%d] runs backwards", i, lo, hi)
+			}
+			loState, hiState := lo/2, (hi+1)/2
+			if lo == hi && lo%2 == 0 {
+				clean++
+			}
+			got := stripDecision(d)
+			matched := false
+			for k := loState; k <= hiState && !matched; k++ {
+				matched = got == oracle[k][i]
+			}
+			if !matched {
+				t.Fatalf("probe %d: decision %+v matches no oracle state in [%d,%d]",
+					i, got, loState, hiState)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no decisions checked")
+	}
+	if clean == 0 {
+		t.Error("no clean-snapshot decisions observed")
+	}
+	t.Logf("checked %d decisions (%d clean snapshots, %d overlapping a mutation) against %d oracle states",
+		checked, clean, checked-clean, mutations+1)
+
+	snap := svc.Snapshot()
+	if snap.Cache.Hits == 0 || snap.Cache.Misses == 0 {
+		t.Errorf("cache counters not exercised: %+v", snap.Cache)
+	}
+	if snap.Cache.Shootdowns == 0 {
+		t.Errorf("no shootdowns recorded despite %d mutations", mutations)
+	}
+	if len(snap.LatencyNs) == 0 {
+		t.Error("latency histogram empty")
+	}
+}
+
+// TestOverlappedDecisionInterval pins a mutation open mid-flight and
+// checks that decisions evaluated during it report an odd epoch and
+// match one of the two states the mutation brackets — the non-singleton
+// half of the oracle property that TestConcurrentOracle rarely samples.
+func TestOverlappedDecisionInterval(t *testing.T) {
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := New(st, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+
+	// Hold one mutation open: revoke "code" (segno 1), then park inside
+	// the epoch-odd window.
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- st.mutate(func() error {
+			sdw, err := st.sup.FetchSDW(1)
+			if err != nil {
+				return err
+			}
+			sdw.Present = false
+			if err := st.sup.StoreSDW(1, sdw); err != nil {
+				return err
+			}
+			<-release
+			return nil
+		})
+	}()
+	waitFor(t, "mutation to open", func() bool { return st.Version() == 1 })
+
+	probes := oracleQueries()
+	ds, err := svc.Submit(context.Background(), probes)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("held mutation: %v", err)
+	}
+
+	// Oracle states 0 (image as built) and 1 (code revoked).
+	states := make([][]Decision, 2)
+	for k := range states {
+		ost, err := NewStore(StoreConfig{}, testSegments())
+		if err != nil {
+			t.Fatalf("oracle NewStore: %v", err)
+		}
+		if k == 1 {
+			if err := ost.Revoke(1); err != nil {
+				t.Fatalf("oracle Revoke: %v", err)
+			}
+		}
+		u, err := ost.NewWorkerMMU(mmu.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("oracle MMU: %v", err)
+		}
+		states[k] = make([]Decision, len(probes))
+		for i := range probes {
+			evalQuery(ost, u, &probes[i], &states[k][i])
+		}
+	}
+
+	for i, d := range ds {
+		if d.VersionLo != 1 || d.VersionHi != 1 {
+			t.Errorf("probe %d: version interval [%d,%d], want [1,1] (mid-mutation)",
+				i, d.VersionLo, d.VersionHi)
+		}
+		got := stripDecision(d)
+		if got != states[0][i] && got != states[1][i] {
+			t.Errorf("probe %d: decision %+v matches neither bracketing state\n before: %+v\n after:  %+v",
+				i, got, states[0][i], states[1][i])
+		}
+	}
+	// The probe set must discriminate the two states, or the check above
+	// is vacuous.
+	differs := false
+	for i := range probes {
+		differs = differs || states[0][i] != states[1][i]
+	}
+	if !differs {
+		t.Error("probe set cannot distinguish the bracketed states")
+	}
+}
+
+// TestMetricsSnapshot checks the /metrics counters after known traffic.
+func TestMetricsSnapshot(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	qs := []Query{
+		{Op: OpAccess, Ring: 4, Segment: "data", Kind: core.AccessRead},   // allowed
+		{Op: OpAccess, Ring: 5, Segment: "data", Kind: core.AccessRead},   // read bracket fault
+		{Op: OpCall, Ring: 4, Segment: "code", Wordno: 1},                 // allowed
+		{Op: OpReturn, Ring: 3, Segment: "code", EffRing: ring(1)},        // trap
+		{Op: OpEffRing, Ring: 1, Chain: []ChainStep{{Ring: 0, Segno: 0}}}, // allowed
+		{Op: OpAccess, Ring: 3, Segment: "nonesuch"},                      // error
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Submit(context.Background(), qs); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	snap := svc.Snapshot()
+	if snap.Workers != 2 || snap.QueueCap != 64 {
+		t.Errorf("shape: workers=%d cap=%d", snap.Workers, snap.QueueCap)
+	}
+	if snap.Batches != 3 || snap.Queries != 18 {
+		t.Errorf("batches=%d queries=%d, want 3/18", snap.Batches, snap.Queries)
+	}
+	if snap.Allowed != 12 || snap.Denied != 3 || snap.Errors != 3 || snap.Trapped != 3 {
+		t.Errorf("allowed=%d denied=%d errors=%d trapped=%d, want 12/3/3/3",
+			snap.Allowed, snap.Denied, snap.Errors, snap.Trapped)
+	}
+	if snap.Ops[string(OpAccess)] != 9 || snap.Ops[string(OpCall)] != 3 ||
+		snap.Ops[string(OpReturn)] != 3 || snap.Ops[string(OpEffRing)] != 3 {
+		t.Errorf("per-op counts wrong: %v", snap.Ops)
+	}
+	if snap.Faults[core.ViolationReadBracket.String()] != 3 {
+		t.Errorf("faults: %v", snap.Faults)
+	}
+	if snap.Cache.Hits+snap.Cache.Misses == 0 {
+		t.Error("cache counters all zero")
+	}
+	if len(snap.PerWorkerCache) != 2 {
+		t.Errorf("per-worker cache entries = %d, want 2", len(snap.PerWorkerCache))
+	}
+	if len(snap.LatencyNs) == 0 {
+		t.Error("latency histogram empty")
+	}
+	var latTotal uint64
+	for _, b := range snap.LatencyNs {
+		latTotal += b.Count
+	}
+	if latTotal != snap.Batches {
+		t.Errorf("latency histogram sums to %d, want %d batches", latTotal, snap.Batches)
+	}
+	if len(snap.Events) == 0 {
+		t.Error("no trace events recorded")
+	}
+}

@@ -1,0 +1,253 @@
+// Package service exposes the MMU decision procedure as a concurrent
+// protection-decision server: the reference monitor the paper's
+// hardware implements, offered as a policy-decision point for many
+// clients at once.
+//
+// The paper's validation logic — bracket checks, gate lists, the
+// CALL/RETURN decision tables — is a mechanical procedure evaluated on
+// every reference. internal/mmu already packages that procedure as the
+// single access path of the simulated machine; this package puts a
+// server around it:
+//
+//   - a Store holds one machine image: word-atomic shared core, the
+//     descriptor segment, and a supervisor MMU through which every
+//     run-time descriptor edit flows (StoreSDW, so the coherence Group
+//     keeps every worker's associative memory honest);
+//   - a Service runs a pool of workers, each a goroutine owning its own
+//     MMU and SDW associative memory — exactly the paper's
+//     several-processors-sharing-core configuration — consuming batches
+//     of queries from a bounded queue with backpressure;
+//   - a Server speaks HTTP/JSON on top (see http.go) with /healthz and
+//     /metrics endpoints.
+//
+// # Consistency model
+//
+// Queries and mutations race by design, as they do on the real machine:
+// a processor referencing a segment while ring-0 software edits its
+// descriptor sees either the old or the new word of the descriptor
+// segment (core is word-atomic; SDWs are word pairs). The Store
+// brackets every mutation with an epoch counter — odd while an edit is
+// in flight, even when quiescent — and each Decision reports the epoch
+// interval it was evaluated under. A decision whose interval is a
+// single even epoch is a clean snapshot of the descriptor state at that
+// version; the T12 experiment uses this to cross-check every concurrent
+// decision against a single-threaded oracle replay.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/seg"
+	"repro/internal/word"
+)
+
+// Segment describes one segment of the protection image the store
+// serves decisions about.
+type Segment struct {
+	Name string
+	// Size is the segment length in words; zero means len(Words), and
+	// at least one word is always allocated.
+	Size  int
+	Words []word.Word
+
+	Read, Write, Execute bool
+	Brackets             core.Brackets
+	// Gates is the number of gate locations (words 0..Gates-1).
+	Gates uint32
+}
+
+// StoreConfig sizes the store.
+type StoreConfig struct {
+	// MemWords is the shared core size; default 1<<21.
+	MemWords int
+	// MaxSegments bounds the descriptor segment; default 256.
+	MaxSegments int
+}
+
+// Store is the shared descriptor state of a decision service: the
+// word-atomic core holding the descriptor segment and segment bodies,
+// the coherence group every worker MMU joins, and the supervisor MMU
+// through which all mutations flow.
+type Store struct {
+	mem   *mem.Atomic
+	alloc *mem.Allocator
+	dbr   seg.DBR
+	group *mmu.Group
+
+	// mu serializes mutations; sup is the supervisor's MMU (cache off —
+	// ring-0 software reads descriptors through core, and an uncached
+	// unit can never itself go stale).
+	mu  sync.Mutex
+	sup *mmu.MMU
+
+	// epoch is odd while a mutation is in flight, even when quiescent;
+	// epoch/2 counts completed mutations.
+	epoch atomic.Uint64
+
+	names  map[string]uint32
+	segnos []string
+}
+
+// NewStore builds a store holding the given segments, numbered in
+// order from 0.
+func NewStore(cfg StoreConfig, defs []Segment) (*Store, error) {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 21
+	}
+	if cfg.MaxSegments == 0 {
+		cfg.MaxSegments = 256
+	}
+	if len(defs) > cfg.MaxSegments {
+		return nil, fmt.Errorf("service: %d segments exceed MaxSegments %d", len(defs), cfg.MaxSegments)
+	}
+	m := mem.NewAtomic(cfg.MemWords)
+	st := &Store{
+		mem:   m,
+		alloc: mem.NewAllocator(cfg.MemWords, 2*cfg.MaxSegments),
+		dbr:   seg.DBR{Addr: 0, Bound: uint32(cfg.MaxSegments)},
+		group: mmu.NewGroup(),
+		names: make(map[string]uint32, len(defs)),
+	}
+	st.sup = mmu.New(m, mmu.Options{Validate: true})
+	st.sup.SetDBR(st.dbr)
+	st.group.Join(st.sup)
+
+	for i, def := range defs {
+		if def.Name == "" {
+			return nil, fmt.Errorf("service: segment %d has no name", i)
+		}
+		if _, dup := st.names[def.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate segment %q", def.Name)
+		}
+		size := def.Size
+		if size == 0 {
+			size = len(def.Words)
+		}
+		if size < len(def.Words) {
+			return nil, fmt.Errorf("service: segment %q size %d below contents %d", def.Name, size, len(def.Words))
+		}
+		if size == 0 {
+			size = 1 // a zero-length segment would make every reference a bound fault
+		}
+		base, err := st.alloc.Alloc(size)
+		if err != nil {
+			return nil, fmt.Errorf("service: placing %q: %w", def.Name, err)
+		}
+		if err := mem.WriteRange(m, base, def.Words); err != nil {
+			return nil, err
+		}
+		sdw := seg.SDW{
+			Present: true, Addr: uint32(base), Bound: uint32(size),
+			Read: def.Read, Write: def.Write, Execute: def.Execute,
+			Brackets: def.Brackets, Gate: def.Gates,
+		}
+		if err := st.sup.StoreSDW(uint32(i), sdw); err != nil {
+			return nil, fmt.Errorf("service: segment %q: %w", def.Name, err)
+		}
+		st.names[def.Name] = uint32(i)
+		st.segnos = append(st.segnos, def.Name)
+	}
+	return st, nil
+}
+
+// NewWorkerMMU creates one worker's MMU over the shared core, running
+// the store's descriptor segment and joined to its coherence group. The
+// returned unit must be owned by a single goroutine.
+func (st *Store) NewWorkerMMU(opt mmu.Options) (*mmu.MMU, error) {
+	if err := opt.Check(); err != nil {
+		return nil, err
+	}
+	u := mmu.New(st.mem, opt)
+	u.SetDBR(st.dbr)
+	st.group.Join(u)
+	return u, nil
+}
+
+// Segno resolves a segment name.
+func (st *Store) Segno(name string) (uint32, bool) {
+	n, ok := st.names[name]
+	return n, ok
+}
+
+// Segments returns the segment names in segment-number order.
+func (st *Store) Segments() []string { return st.segnos }
+
+// MaxSegments returns the descriptor-segment bound.
+func (st *Store) MaxSegments() uint32 { return st.dbr.Bound }
+
+// Version returns the mutation epoch: odd while a descriptor edit is in
+// flight, even when quiescent. Version/2 is the number of completed
+// mutations.
+func (st *Store) Version() uint64 { return st.epoch.Load() }
+
+// mutate brackets a descriptor edit with the epoch counter. Posting the
+// shootdown (inside StoreSDW) happens before the closing bump, so a
+// worker that observes the even epoch also observes the pending
+// invalidation on its next SDW fetch.
+func (st *Store) mutate(f func() error) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.epoch.Add(1)
+	err := f()
+	st.epoch.Add(1)
+	return err
+}
+
+// SDW fetches the current descriptor of segno through the supervisor's
+// (uncached) unit.
+func (st *Store) SDW(segno uint32) (seg.SDW, error) {
+	return st.sup.FetchSDW(segno)
+}
+
+// SetBrackets replaces the flags, brackets and gate count of segno,
+// keeping its placement. Supervisor functionality: the edit goes
+// through StoreSDW, so every worker's associative memory sees it before
+// its next fetch of that descriptor.
+func (st *Store) SetBrackets(segno uint32, read, write, execute bool, b core.Brackets, gates uint32) error {
+	return st.mutate(func() error {
+		sdw, err := st.sup.FetchSDW(segno)
+		if err != nil {
+			return err
+		}
+		if !sdw.Present {
+			return fmt.Errorf("service: setbrackets on absent segment %d", segno)
+		}
+		sdw.Read, sdw.Write, sdw.Execute = read, write, execute
+		sdw.Brackets = b
+		sdw.Gate = gates
+		return st.sup.StoreSDW(segno, sdw)
+	})
+}
+
+// Revoke clears the present flag of segno, leaving the rest of the
+// descriptor intact: every subsequent reference takes a missing-segment
+// fault. Because only the present bit changes, the edit is a single
+// atomic core write and concurrent readers see exactly the old or the
+// new descriptor.
+func (st *Store) Revoke(segno uint32) error {
+	return st.mutate(func() error {
+		sdw, err := st.sup.FetchSDW(segno)
+		if err != nil {
+			return err
+		}
+		sdw.Present = false
+		return st.sup.StoreSDW(segno, sdw)
+	})
+}
+
+// Restore re-sets the present flag of a revoked segment.
+func (st *Store) Restore(segno uint32) error {
+	return st.mutate(func() error {
+		sdw, err := st.sup.FetchSDW(segno)
+		if err != nil {
+			return err
+		}
+		sdw.Present = true
+		return st.sup.StoreSDW(segno, sdw)
+	})
+}

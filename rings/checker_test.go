@@ -1,0 +1,198 @@
+package rings_test
+
+import (
+	"testing"
+
+	"repro/rings"
+)
+
+func checkerImage() []rings.Segment {
+	return []rings.Segment{
+		{Name: "data", Size: 64, Read: true, Write: true,
+			Brackets: rings.Brackets{R1: 2, R2: 4, R3: 4}},
+		{Name: "code", Size: 64, Read: true, Execute: true,
+			Brackets: rings.Brackets{R1: 1, R2: 3, R3: 5}, Gates: 2},
+		{Name: "secret", Size: 16, Read: true,
+			Brackets: rings.Brackets{R1: 0, R2: 1, R3: 1}},
+	}
+}
+
+func TestCheckerAccess(t *testing.T) {
+	chk, err := rings.NewChecker(checkerImage())
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	defer chk.Close()
+
+	d, err := chk.CheckAccess(4, "data", 3, rings.AccessRead)
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if !d.Allowed {
+		t.Errorf("ring-4 read of data: %+v", d)
+	}
+
+	d, err = chk.CheckAccess(5, "secret", 0, rings.AccessRead)
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if d.Allowed || d.Violation != "outside read bracket" {
+		t.Errorf("ring-5 read of secret: %+v", d)
+	}
+
+	d, err = chk.CheckAccess(3, "code", 0, rings.AccessWrite)
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if d.Allowed || d.Violation != "write flag off" {
+		t.Errorf("write to code: %+v", d)
+	}
+}
+
+func TestCheckerCallReturnEffRing(t *testing.T) {
+	chk, err := rings.NewChecker(checkerImage())
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	defer chk.Close()
+
+	// Ring 4 is above code's execute bracket top (R2=3); word 1 is a
+	// gate, so the call is a legal downward call switching to R2.
+	d, err := chk.CheckCall(4, "code", 1)
+	if err != nil {
+		t.Fatalf("CheckCall: %v", err)
+	}
+	if !d.Allowed || d.Outcome != "downward call" || d.NewRing != 3 {
+		t.Errorf("gated call: %+v", d)
+	}
+
+	// Word 5 is past the gate list.
+	d, err = chk.CheckCall(4, "code", 5)
+	if err != nil {
+		t.Fatalf("CheckCall: %v", err)
+	}
+	if d.Allowed || d.Violation != "transfer not directed at a gate location" {
+		t.Errorf("non-gate call: %+v", d)
+	}
+
+	// Ring 0 calling up into code (R1=1) traps to the new ring.
+	d, err = chk.CheckCall(0, "code", 0)
+	if err != nil {
+		t.Fatalf("CheckCall: %v", err)
+	}
+	if !d.Allowed || d.Outcome != "upward call (trap)" || !d.Trapped || d.NewRing != 1 {
+		t.Errorf("upward call: %+v", d)
+	}
+
+	// Return from ring 2 to effective ring 3 within code's brackets.
+	d, err = chk.CheckReturn(2, 3, "code", 0)
+	if err != nil {
+		t.Fatalf("CheckReturn: %v", err)
+	}
+	if !d.Allowed || d.Outcome != "upward return" || d.NewRing != 3 {
+		t.Errorf("upward return: %+v", d)
+	}
+
+	// An effective-ring chain through a pointer register in ring 6.
+	d, err = chk.EffectiveRing(1, rings.ChainStep{Ring: 6})
+	if err != nil {
+		t.Fatalf("EffectiveRing: %v", err)
+	}
+	if !d.Allowed || d.NewRing != 6 {
+		t.Errorf("effective ring: %+v", d)
+	}
+}
+
+func TestCheckerMutation(t *testing.T) {
+	chk, err := rings.NewChecker(checkerImage())
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	defer chk.Close()
+
+	// Narrow data's write bracket below ring 3, then put it back.
+	if err := chk.SetBrackets("data", true, true, false, rings.Brackets{R1: 0, R2: 1, R3: 1}, 0); err != nil {
+		t.Fatalf("SetBrackets: %v", err)
+	}
+	d, err := chk.CheckAccess(3, "data", 0, rings.AccessWrite)
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if d.Allowed || d.Violation != "outside write bracket" {
+		t.Errorf("after narrowing: %+v", d)
+	}
+	if err := chk.SetBrackets("data", true, true, false, rings.Brackets{R1: 2, R2: 4, R3: 4}, 0); err != nil {
+		t.Fatalf("SetBrackets: %v", err)
+	}
+
+	// Revoke makes every reference a missing-segment fault; Restore
+	// undoes it.
+	if err := chk.Revoke("code"); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	d, err = chk.CheckAccess(2, "code", 0, rings.AccessExecute)
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if d.Allowed || d.Violation != "missing segment" {
+		t.Errorf("after revoke: %+v", d)
+	}
+	if err := chk.Restore("code"); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	d, err = chk.CheckAccess(2, "code", 0, rings.AccessExecute)
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if !d.Allowed {
+		t.Errorf("after restore: %+v", d)
+	}
+
+	// Unknown segments are reported by name.
+	for _, call := range []error{
+		chk.Revoke("absent"),
+		chk.Restore("absent"),
+		chk.SetBrackets("absent", true, false, false, rings.Brackets{}, 0),
+	} {
+		if call == nil {
+			t.Error("mutation of unknown segment: want error")
+		}
+	}
+	if _, ok := chk.Segno("data"); !ok {
+		t.Error("Segno(data): not found")
+	}
+	if _, ok := chk.Segno("absent"); ok {
+		t.Error("Segno(absent): unexpectedly found")
+	}
+}
+
+func TestCheckerBatchAndMetrics(t *testing.T) {
+	chk, err := rings.NewChecker(checkerImage())
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	defer chk.Close()
+
+	ds, err := chk.Check(
+		rings.Query{Op: rings.OpAccess, Ring: 4, Segment: "data", Kind: rings.AccessRead},
+		rings.Query{Op: rings.OpAccess, Ring: 7, Segment: "secret", Kind: rings.AccessRead},
+		rings.Query{Op: rings.OpCall, Ring: 4, Segment: "code", Wordno: 0},
+	)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("got %d decisions", len(ds))
+	}
+	if !ds[0].Allowed || ds[1].Allowed || !ds[2].Allowed {
+		t.Errorf("decisions: %+v", ds)
+	}
+
+	m := chk.Metrics()
+	if m.Queries != 3 || m.Batches != 1 {
+		t.Errorf("metrics: queries %d batches %d", m.Queries, m.Batches)
+	}
+	if m.Faults["outside read bracket"] != 1 {
+		t.Errorf("faults: %+v", m.Faults)
+	}
+}
