@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/asm"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/softring"
 	"repro/internal/sup"
 	"repro/internal/word"
+	"repro/rings"
 )
 
 // ---- Figure 1: writable data segment access checks ----
@@ -703,4 +705,59 @@ func TestTracelessStepZeroAlloc(t *testing.T) {
 	if avg != 0 {
 		t.Errorf("traceless step path allocates %v allocs per 50-step run, want 0", avg)
 	}
+}
+
+// ---- Decision service: the zero-allocation submit path ----
+
+// BenchmarkServiceCheckInto measures a complete decision round trip
+// through the service (queue, worker, MMU validation, reply) using the
+// pooled CheckInto path. Like the traceless step above, 0 B/op is an
+// acceptance criterion — asserted by TestSubmitIntoZeroAlloc in
+// internal/service.
+func BenchmarkServiceCheckInto(b *testing.B) {
+	chk, err := rings.NewCheckerWith(rings.CheckerConfig{Workers: 1, CacheSize: 64}, []rings.Segment{
+		{Name: "data", Size: 64, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 2, R2: 4, R3: 4}},
+		{Name: "code", Size: 64, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 1, R2: 3, R3: 5}, Gates: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer chk.Close()
+
+	for _, size := range []int{1, 16} {
+		queries := make([]rings.Query, size)
+		for i := range queries {
+			switch i & 3 {
+			case 0, 1:
+				queries[i] = rings.Query{Op: rings.OpAccess, Ring: 4, Segment: "data",
+					Wordno: uint32(i), Kind: rings.AccessRead}
+			case 2:
+				queries[i] = rings.Query{Op: rings.OpCall, Ring: 4, Segment: "code", Wordno: 1}
+			case 3:
+				queries[i] = rings.Query{Op: rings.OpAccess, Ring: 7, Segment: "data",
+					Kind: rings.AccessWrite} // denied
+			}
+		}
+		dst := make([]rings.Decision, size)
+		b.Run(benchSizeName("batch", size), func(b *testing.B) {
+			for i := 0; i < 8; i++ { // warm the descriptor pool
+				if err := chk.CheckInto(queries, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := chk.CheckInto(queries, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchSizeName(prefix string, n int) string {
+	return fmt.Sprintf("%s-%d", prefix, n)
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ringd [-addr :8642] [-workers 4] [-cache 64] [-queue 64]
-//	      [-batch 1024] [-image image.json]
+//	      [-batch 1024] [-shards 8] [-image image.json]
 //
 // Endpoints:
 //
@@ -127,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cache := fs.Int("cache", 64, "per-worker SDW cache size (power of two; 0 disables)")
 	queue := fs.Int("queue", 64, "bounded batch-queue depth (full queue answers 429)")
 	batchLimit := fs.Int("batch", 1024, "maximum queries per batch")
+	shards := fs.Int("shards", 0, "descriptor-store shards (power of two; 0 = default 8)")
 	imagePath := fs.String("image", "", "machine image JSON (built-in demo image when empty)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -137,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringd:", err)
 		return 1
 	}
-	st, err := service.NewStore(service.StoreConfig{}, defs)
+	st, err := service.NewStore(service.StoreConfig{Shards: *shards}, defs)
 	if err != nil {
 		fmt.Fprintln(stderr, "ringd:", err)
 		return 1
@@ -165,8 +166,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	fmt.Fprintf(stdout, "ringd: serving %d segments on %s (%d workers, cache %d, queue %d)\n",
-		len(defs), ln.Addr(), svc.Workers(), *cache, svc.QueueDepth())
+	fmt.Fprintf(stdout, "ringd: serving %d segments on %s (%d workers, cache %d, queue %d, %d shards)\n",
+		len(defs), ln.Addr(), svc.Workers(), *cache, svc.QueueDepth(), st.Shards())
 	if testHookReady != nil {
 		testHookReady <- ln.Addr().String()
 	}

@@ -1,0 +1,644 @@
+// Command ringload is a closed-loop load generator for the
+// protection-decision service: it replays a synthetic mix of
+// access/call/return/effring queries — in-process through
+// rings.Checker, or over HTTP against a running ringd — at a
+// configurable concurrency and duration, and reports throughput plus
+// p50/p95/p99 batch latency.
+//
+// Usage:
+//
+//	ringload [-c 4] [-duration 2s] [-batch 64]
+//	         [-mix access=8,call=1,return=1,effring=1]
+//	         [-workers 4] [-shards 0] [-cache 64] [-queue 0]
+//	         [-mutators 1] [-seed 1] [-sweep 1,2,4,8]
+//	         [-target http://host:8642] [-json]
+//
+// Each of the -c clients owns one pre-generated query batch pool and
+// one reusable decision buffer, and loops: submit, record the batch
+// latency, repeat — a closed loop, so offered load adapts to service
+// capacity. In-process mode drives Checker.CheckInto (the
+// zero-allocation path); -target mode POSTs the same batches to
+// ringd's /v1/check. -mutators adds supervisor goroutines streaming
+// SetBrackets edits through the coherent descriptor path while
+// decisions run (in-process only), and -sweep repeats the whole run
+// across several descriptor-store shard counts to measure scaling.
+//
+// With -json, results are emitted as a JSON array in the same shape as
+// ringbench -json (id, title, host_ns, metrics, lines), so the two
+// artifacts can feed the same dashboards.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/rings"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// config is the parsed flag set.
+type config struct {
+	clients  int
+	duration time.Duration
+	batch    int
+	mix      mix
+	workers  int
+	shards   int
+	cache    int
+	queue    int
+	mutators int
+	seed     int64
+	sweep    []int
+	target   string
+	jsonOut  bool
+}
+
+// mix is the query mix as integer weights.
+type mix struct {
+	access, call, ret, effring int
+}
+
+func (m mix) total() int { return m.access + m.call + m.ret + m.effring }
+
+func parseMix(s string) (mix, error) {
+	m := mix{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("mix term %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix weight %q is not a non-negative integer", val)
+		}
+		switch name {
+		case "access":
+			m.access = w
+		case "call":
+			m.call = w
+		case "return":
+			m.ret = w
+		case "effring":
+			m.effring = w
+		default:
+			return m, fmt.Errorf("unknown mix op %q", name)
+		}
+	}
+	if m.total() == 0 {
+		return m, errors.New("mix has zero total weight")
+	}
+	return m, nil
+}
+
+func parseSweep(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sweep entry %q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// loadImage is the image the in-process modes serve: the same
+// Multics-flavoured layout ringd's built-in demo image uses, so
+// in-process and -target runs exercise comparable descriptor shapes.
+func loadImage() []rings.Segment {
+	return []rings.Segment{
+		{Name: "supervisor", Size: 4096, Read: true, Execute: true,
+			Brackets: rings.Brackets{R1: 0, R2: 0, R3: 7}, Gates: 8},
+		{Name: "sys_data", Size: 1024, Read: true, Write: true,
+			Brackets: rings.Brackets{R1: 0, R2: 2, R3: 2}},
+		{Name: "math_lib", Size: 2048, Read: true, Execute: true,
+			Brackets: rings.Brackets{R1: 0, R2: 7, R3: 7}},
+		{Name: "editor", Size: 2048, Read: true, Execute: true,
+			Brackets: rings.Brackets{R1: 4, R2: 4, R3: 5}, Gates: 2},
+		{Name: "user_code", Size: 1024, Read: true, Execute: true,
+			Brackets: rings.Brackets{R1: 4, R2: 6, R3: 6}},
+		{Name: "user_data", Size: 4096, Read: true, Write: true,
+			Brackets: rings.Brackets{R1: 4, R2: 6, R3: 6}},
+	}
+}
+
+// genQuery draws one query from the mix. Targets are numbered segments
+// (segno form), so the same generator works in-process and against any
+// ringd image with at least `segments` segments.
+func genQuery(rng *rand.Rand, m mix, segments uint32) rings.Query {
+	pick := rng.Intn(m.total())
+	segno := rng.Uint32() % segments
+	ring := rings.Ring(rng.Intn(8))
+	wordno := rng.Uint32() % 64
+	switch {
+	case pick < m.access:
+		kinds := [3]rings.AccessKind{rings.AccessRead, rings.AccessWrite, rings.AccessExecute}
+		return rings.Query{Op: rings.OpAccess, Ring: ring, Segno: segno, Wordno: wordno, Kind: kinds[rng.Intn(3)]}
+	case pick < m.access+m.call:
+		return rings.Query{Op: rings.OpCall, Ring: ring, Segno: segno, Wordno: wordno % 8}
+	case pick < m.access+m.call+m.ret:
+		eff := rings.Ring(rng.Intn(8))
+		return rings.Query{Op: rings.OpReturn, Ring: ring, Segno: segno, Wordno: wordno, EffRing: &eff}
+	default:
+		chain := make([]rings.ChainStep, 1+rng.Intn(3))
+		for i := range chain {
+			if rng.Intn(2) == 0 {
+				chain[i] = rings.ChainStep{PR: true, Ring: rings.Ring(rng.Intn(8))}
+			} else {
+				chain[i] = rings.ChainStep{Ring: rings.Ring(rng.Intn(8)), Segno: rng.Uint32() % segments}
+			}
+		}
+		return rings.Query{Op: rings.OpEffRing, Ring: ring, Chain: chain}
+	}
+}
+
+// genBatches pre-generates the per-client batch pools so the hot loop
+// only submits; client c cycles through its own pool deterministically
+// (seed + client index).
+func genBatches(cfg config, segments uint32) [][][]rings.Query {
+	const poolSize = 16
+	pools := make([][][]rings.Query, cfg.clients)
+	for c := range pools {
+		rng := rand.New(rand.NewSource(cfg.seed + int64(c)))
+		pools[c] = make([][]rings.Query, poolSize)
+		for p := range pools[c] {
+			batch := make([]rings.Query, cfg.batch)
+			for i := range batch {
+				batch[i] = genQuery(rng, cfg.mix, segments)
+			}
+			pools[c][p] = batch
+		}
+	}
+	return pools
+}
+
+// ---- Log-linear latency histogram ----
+
+// subBits gives 2^subBits linear sub-buckets per power-of-two range:
+// ~6% relative resolution, enough for p99 on a histogram that never
+// needs sorting or unbounded memory.
+const subBits = 4
+
+type hist struct {
+	counts [64 << subBits]uint64
+	n      uint64
+}
+
+func (h *hist) add(ns int64) {
+	v := uint64(max(ns, 0))
+	h.n++
+	if v < 1<<subBits {
+		h.counts[v]++
+		return
+	}
+	exp := bits.Len64(v) - 1
+	sub := (v >> (exp - subBits)) & (1<<subBits - 1)
+	h.counts[uint64(exp-subBits+1)<<subBits|sub]++
+}
+
+func (h *hist) merge(o *hist) {
+	h.n += o.n
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// quantile returns the lower bound of the bucket holding the q-th
+// sample (0 < q <= 1).
+func (h *hist) quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			block := uint64(i) >> subBits
+			sub := uint64(i) & (1<<subBits - 1)
+			if block == 0 {
+				return int64(sub)
+			}
+			return int64((1<<subBits | sub) << (block - 1))
+		}
+	}
+	return 0
+}
+
+// ---- Drivers ----
+
+// driver submits one pre-built batch and fills dst (in-process) or
+// parses the response (HTTP), returning service.ErrQueueFull-equivalent
+// shedding as (shed=true).
+type driver interface {
+	submit(client int, batch []rings.Query, dst []rings.Decision) (shed bool, err error)
+	close()
+}
+
+// checkerDriver drives the decision path in-process.
+type checkerDriver struct{ chk *rings.Checker }
+
+func (d *checkerDriver) submit(_ int, batch []rings.Query, dst []rings.Decision) (bool, error) {
+	err := d.chk.CheckInto(batch, dst)
+	if errors.Is(err, rings.ErrQueueFull) {
+		return true, nil
+	}
+	return false, err
+}
+
+func (d *checkerDriver) close() { d.chk.Close() }
+
+// httpDriver replays the batches against a running ringd. Request
+// bodies are marshalled once per pool batch and reused.
+type httpDriver struct {
+	target string
+	client *http.Client
+	bodies map[*rings.Query][]byte // keyed by &batch[0]
+	mu     sync.Mutex
+}
+
+func newHTTPDriver(target string) *httpDriver {
+	return &httpDriver{
+		target: strings.TrimSuffix(target, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+		bodies: make(map[*rings.Query][]byte),
+	}
+}
+
+// segments asks /healthz how many segments the served image holds, so
+// generated segnos stay mostly in range.
+func (d *httpDriver) segments() (uint32, error) {
+	resp, err := d.client.Get(d.target + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		OK       bool `json:"ok"`
+		Segments int  `json:"segments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	if !h.OK || h.Segments <= 0 {
+		return 0, fmt.Errorf("target unhealthy: %+v", h)
+	}
+	return uint32(h.Segments), nil
+}
+
+// wireBatch mirrors the /v1/check request schema (access kinds as
+// strings).
+func wireBatch(batch []rings.Query) ([]byte, error) {
+	type wq struct {
+		Op          string            `json:"op"`
+		Ring        uint8             `json:"ring"`
+		Segno       uint32            `json:"segno,omitempty"`
+		Wordno      uint32            `json:"wordno,omitempty"`
+		Kind        string            `json:"kind,omitempty"`
+		EffRing     *uint8            `json:"eff_ring,omitempty"`
+		SameSegment bool              `json:"same_segment,omitempty"`
+		Chain       []rings.ChainStep `json:"chain,omitempty"`
+	}
+	kinds := map[rings.AccessKind]string{
+		rings.AccessRead: "read", rings.AccessWrite: "write", rings.AccessExecute: "execute",
+	}
+	out := struct {
+		Queries []wq `json:"queries"`
+	}{Queries: make([]wq, len(batch))}
+	for i, q := range batch {
+		w := wq{Op: string(q.Op), Ring: uint8(q.Ring), Segno: q.Segno,
+			Wordno: q.Wordno, SameSegment: q.SameSegment, Chain: q.Chain}
+		if q.Op == rings.OpAccess {
+			w.Kind = kinds[q.Kind]
+		}
+		if q.EffRing != nil {
+			r := uint8(*q.EffRing)
+			w.EffRing = &r
+		}
+		out.Queries[i] = w
+	}
+	return json.Marshal(out)
+}
+
+func (d *httpDriver) body(batch []rings.Query) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if b, ok := d.bodies[&batch[0]]; ok {
+		return b, nil
+	}
+	b, err := wireBatch(batch)
+	if err == nil {
+		d.bodies[&batch[0]] = b
+	}
+	return b, err
+}
+
+func (d *httpDriver) submit(_ int, batch []rings.Query, dst []rings.Decision) (bool, error) {
+	body, err := d.body(batch)
+	if err != nil {
+		return false, err
+	}
+	resp, err := d.client.Post(d.target+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("/v1/check: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var cr struct {
+		Decisions []rings.Decision `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return false, err
+	}
+	if len(cr.Decisions) != len(batch) {
+		return false, fmt.Errorf("/v1/check: %d decisions for %d queries", len(cr.Decisions), len(batch))
+	}
+	copy(dst, cr.Decisions)
+	return false, nil
+}
+
+func (d *httpDriver) close() {}
+
+// ---- Run loop ----
+
+// result is one trial's measurements.
+type result struct {
+	shards    int
+	elapsed   time.Duration
+	decisions uint64
+	batches   uint64
+	shed      uint64
+	mutations uint64
+	lat       hist
+}
+
+func (r *result) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.decisions) / r.elapsed.Seconds()
+}
+
+// runTrial drives the closed loop: cfg.clients goroutines submitting
+// from their batch pools until the duration elapses, plus cfg.mutators
+// supervisor goroutines (in-process only) streaming bracket edits.
+func runTrial(cfg config, d driver, chk *rings.Checker, pools [][][]rings.Query) (*result, error) {
+	res := &result{shards: cfg.shards}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.clients+cfg.mutators)
+	hists := make([]hist, cfg.clients)
+	var decisions, batches, shed, mutations atomic.Uint64
+
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]rings.Decision, cfg.batch)
+			pool := pools[c]
+			for i := 0; !stop.Load(); i++ {
+				batch := pool[i%len(pool)]
+				t0 := time.Now()
+				wasShed, err := d.submit(c, batch, dst)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if wasShed {
+					shed.Add(1)
+					continue
+				}
+				hists[c].add(time.Since(t0).Nanoseconds())
+				decisions.Add(uint64(len(batch)))
+				batches.Add(1)
+			}
+		}()
+	}
+	wide := rings.Brackets{R1: 4, R2: 6, R3: 6}
+	narrow := rings.Brackets{R1: 4, R2: 5, R3: 5}
+	for m := 0; m < cfg.mutators; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				b := wide
+				if i%2 == 0 {
+					b = narrow
+				}
+				if err := chk.SetBrackets("user_data", true, true, false, b, 0); err != nil {
+					errc <- err
+					return
+				}
+				mutations.Add(1)
+			}
+		}()
+	}
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	res.decisions, res.batches = decisions.Load(), batches.Load()
+	res.shed, res.mutations = shed.Load(), mutations.Load()
+	for i := range hists {
+		res.lat.merge(&hists[i])
+	}
+	return res, nil
+}
+
+// jsonResult matches ringbench -json's element shape so both artifacts
+// feed the same tooling.
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	HostNs  int64              `json:"host_ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Lines   []string           `json:"lines"`
+}
+
+func report(cfg config, res *result, mode string) jsonResult {
+	id := "RINGLOAD"
+	if len(cfg.sweep) > 0 {
+		id = fmt.Sprintf("RINGLOAD-S%d", res.shards)
+	}
+	lines := []string{
+		fmt.Sprintf("mode %s, %d clients x batch %d, %v", mode, cfg.clients, cfg.batch, cfg.duration),
+		fmt.Sprintf("mix access=%d call=%d return=%d effring=%d, seed %d",
+			cfg.mix.access, cfg.mix.call, cfg.mix.ret, cfg.mix.effring, cfg.seed),
+		fmt.Sprintf("decisions %d in %v (%.0f decisions/s), %d batches, %d shed",
+			res.decisions, res.elapsed.Round(time.Millisecond), res.throughput(), res.batches, res.shed),
+		fmt.Sprintf("batch latency p50 %v p95 %v p99 %v",
+			time.Duration(res.lat.quantile(0.50)), time.Duration(res.lat.quantile(0.95)), time.Duration(res.lat.quantile(0.99))),
+	}
+	if mode == "in-process" {
+		lines = append(lines, fmt.Sprintf("shards %d, workers %d, %d concurrent supervisor edits",
+			res.shards, cfg.workers, res.mutations))
+	}
+	return jsonResult{
+		ID:     id,
+		Title:  "protection-decision load: synthetic access/call/return mix",
+		HostNs: res.elapsed.Nanoseconds(),
+		Metrics: map[string]float64{
+			"decisions_per_sec": res.throughput(),
+			"decisions":         float64(res.decisions),
+			"batches":           float64(res.batches),
+			"shed_batches":      float64(res.shed),
+			"mutations":         float64(res.mutations),
+			"p50_ns":            float64(res.lat.quantile(0.50)),
+			"p95_ns":            float64(res.lat.quantile(0.95)),
+			"p99_ns":            float64(res.lat.quantile(0.99)),
+			"clients":           float64(cfg.clients),
+			"batch":             float64(cfg.batch),
+			"workers":           float64(cfg.workers),
+			"shards":            float64(res.shards),
+		},
+		Lines: lines,
+	}
+}
+
+// trialInProcess builds a Checker at the given shard count and runs one
+// trial over it.
+func trialInProcess(cfg config, shards int) (*result, error) {
+	chk, err := rings.NewCheckerWith(rings.CheckerConfig{
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queue,
+		CacheSize:  cfg.cache,
+		Shards:     shards,
+	}, loadImage())
+	if err != nil {
+		return nil, err
+	}
+	d := &checkerDriver{chk: chk}
+	defer d.close()
+	cfg.shards = chk.Shards()
+	pools := genBatches(cfg, uint32(len(loadImage())))
+	return runTrial(cfg, d, chk, pools)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	clients := fs.Int("c", 4, "concurrent closed-loop clients")
+	duration := fs.Duration("duration", 2*time.Second, "run length per trial")
+	batch := fs.Int("batch", 64, "queries per submitted batch")
+	mixFlag := fs.String("mix", "access=8,call=1,return=1,effring=1", "query mix weights")
+	workers := fs.Int("workers", 4, "decision workers (in-process mode)")
+	shards := fs.Int("shards", 0, "descriptor-store shards (in-process; 0 = default)")
+	cache := fs.Int("cache", 64, "per-worker SDW cache size (in-process)")
+	queue := fs.Int("queue", 0, "batch-queue depth (in-process; 0 = default)")
+	mutators := fs.Int("mutators", 1, "concurrent supervisor-edit goroutines (in-process)")
+	seed := fs.Int64("seed", 1, "query-generation seed")
+	sweepFlag := fs.String("sweep", "", "comma-separated shard counts to sweep (in-process)")
+	target := fs.String("target", "", "ringd base URL; empty runs in-process")
+	jsonOut := fs.Bool("json", false, "emit results as a ringbench-compatible JSON array")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringload:", err)
+		return 1
+	}
+	sweep, err := parseSweep(*sweepFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringload:", err)
+		return 1
+	}
+	if *clients <= 0 || *batch <= 0 || *duration <= 0 {
+		fmt.Fprintln(stderr, "ringload: -c, -batch and -duration must be positive")
+		return 1
+	}
+	cfg := config{
+		clients: *clients, duration: *duration, batch: *batch, mix: m,
+		workers: *workers, shards: *shards, cache: *cache, queue: *queue,
+		mutators: *mutators, seed: *seed, sweep: sweep, target: *target,
+		jsonOut: *jsonOut,
+	}
+
+	var results []jsonResult
+	switch {
+	case cfg.target != "":
+		d := newHTTPDriver(cfg.target)
+		segments, err := d.segments()
+		if err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		cfg.mutators = 0 // supervisor edits are in-process only
+		pools := genBatches(cfg, segments)
+		res, err := runTrial(cfg, d, nil, pools)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		results = append(results, report(cfg, res, "http"))
+	case len(cfg.sweep) > 0:
+		counts := append([]int(nil), cfg.sweep...)
+		sort.Ints(counts)
+		for _, n := range counts {
+			res, err := trialInProcess(cfg, n)
+			if err != nil {
+				fmt.Fprintln(stderr, "ringload:", err)
+				return 1
+			}
+			results = append(results, report(cfg, res, "in-process"))
+		}
+	default:
+		res, err := trialInProcess(cfg, cfg.shards)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		results = append(results, report(cfg, res, "in-process"))
+	}
+
+	if cfg.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		return 0
+	}
+	for _, r := range results {
+		fmt.Fprintf(stdout, "== %s: %s\n", r.ID, r.Title)
+		for _, line := range r.Lines {
+			fmt.Fprintln(stdout, "  ", line)
+		}
+	}
+	return 0
+}

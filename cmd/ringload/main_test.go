@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/rings"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("access=8,call=1,return=1,effring=1")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	if m != (mix{access: 8, call: 1, ret: 1, effring: 1}) || m.total() != 11 {
+		t.Errorf("mix = %+v", m)
+	}
+	if m, err := parseMix("access=1"); err != nil || m.total() != 1 {
+		t.Errorf("access-only mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "access", "access=-1", "frobnicate=3", "access=0,call=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	s, err := parseSweep("1, 2,4,8")
+	if err != nil || len(s) != 4 || s[3] != 8 {
+		t.Errorf("parseSweep: %v, %v", s, err)
+	}
+	if s, err := parseSweep(""); err != nil || s != nil {
+		t.Errorf("empty sweep: %v, %v", s, err)
+	}
+	for _, bad := range []string{"0", "x", "1,,2", "-4"} {
+		if _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q): want error", bad)
+		}
+	}
+}
+
+// TestHistQuantile feeds a known distribution and checks the log-linear
+// histogram's percentiles land within its ~6% bucket resolution.
+func TestHistQuantile(t *testing.T) {
+	var h hist
+	for i := int64(1); i <= 10000; i++ {
+		h.add(i)
+	}
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 5000}, {0.95, 9500}, {0.99, 9900}} {
+		got := h.quantile(c.q)
+		if got < c.want*9/10 || got > c.want*11/10 {
+			t.Errorf("quantile(%.2f) = %d, want within 10%% of %d", c.q, got, c.want)
+		}
+	}
+	var empty hist
+	if got := empty.quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d", got)
+	}
+	var tiny hist
+	tiny.add(7)
+	if got := tiny.quantile(0.99); got != 7 {
+		t.Errorf("single-sample quantile = %d, want 7", got)
+	}
+}
+
+// TestGenQueryDeterministicAndValid checks that generation is
+// reproducible for a seed and only produces well-formed queries (the
+// load must measure decisions, not error handling).
+func TestGenQueryDeterministicAndValid(t *testing.T) {
+	m := mix{access: 8, call: 1, ret: 1, effring: 1}
+	a, b := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+	chk, err := rings.NewChecker(loadImage())
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	defer chk.Close()
+	for i := 0; i < 200; i++ {
+		qa, qb := genQuery(a, m, 6), genQuery(b, m, 6)
+		if qa.Op != qb.Op || qa.Segno != qb.Segno || qa.Ring != qb.Ring {
+			t.Fatalf("generation diverged at %d: %+v vs %+v", i, qa, qb)
+		}
+		ds, err := chk.Check(qa)
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		if ds[0].Err != "" {
+			t.Fatalf("generated query %d is malformed: %+v -> %q", i, qa, ds[0].Err)
+		}
+	}
+}
+
+// runJSON runs the command and decodes its JSON output.
+func runJSON(t *testing.T, args ...string) []jsonResult {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if code := run(append(args, "-json"), &out, &errOut); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+	}
+	var results []jsonResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	return results
+}
+
+func TestRunInProcess(t *testing.T) {
+	results := runJSON(t, "-c", "2", "-batch", "8", "-duration", "150ms", "-workers", "2")
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.ID != "RINGLOAD" || r.HostNs <= 0 {
+		t.Errorf("result shape: %+v", r)
+	}
+	for _, key := range []string{"decisions_per_sec", "decisions", "p50_ns", "p95_ns", "p99_ns", "shards", "mutations"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("metric %q missing: %v", key, r.Metrics)
+		}
+	}
+	if r.Metrics["decisions"] <= 0 || r.Metrics["decisions_per_sec"] <= 0 {
+		t.Errorf("no decisions measured: %v", r.Metrics)
+	}
+	if r.Metrics["shards"] != 8 {
+		t.Errorf("default shards = %v, want 8", r.Metrics["shards"])
+	}
+	if r.Metrics["p50_ns"] <= 0 || r.Metrics["p99_ns"] < r.Metrics["p50_ns"] {
+		t.Errorf("latency percentiles inconsistent: %v", r.Metrics)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	results := runJSON(t, "-c", "2", "-batch", "8", "-duration", "100ms", "-sweep", "2,1")
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].ID != "RINGLOAD-S1" || results[1].ID != "RINGLOAD-S2" {
+		t.Errorf("sweep ids: %s, %s (want ascending shard order)", results[0].ID, results[1].ID)
+	}
+	if results[0].Metrics["shards"] != 1 || results[1].Metrics["shards"] != 2 {
+		t.Errorf("sweep shard metrics: %v, %v", results[0].Metrics, results[1].Metrics)
+	}
+}
+
+func TestRunHTTPTarget(t *testing.T) {
+	st, err := service.NewStore(service.StoreConfig{}, []service.Segment{
+		{Name: "data", Size: 64, Read: true, Write: true,
+			Brackets: rings.Brackets{R1: 2, R2: 4, R3: 4}},
+		{Name: "code", Size: 64, Read: true, Execute: true,
+			Brackets: rings.Brackets{R1: 1, R2: 3, R3: 5}, Gates: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := service.New(st, service.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv := httptest.NewServer(service.NewServer(svc))
+	defer srv.Close()
+	defer svc.Close()
+
+	results := runJSON(t, "-c", "2", "-batch", "4", "-duration", "150ms", "-target", srv.URL)
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Metrics["decisions"] <= 0 {
+		t.Errorf("no decisions over HTTP: %v", r.Metrics)
+	}
+	if r.Metrics["mutations"] != 0 {
+		t.Errorf("HTTP mode ran mutators: %v", r.Metrics)
+	}
+	if !strings.Contains(strings.Join(r.Lines, "\n"), "mode http") {
+		t.Errorf("lines missing mode: %v", r.Lines)
+	}
+	if snap := svc.Snapshot(); snap.Queries == 0 {
+		t.Errorf("server saw no queries")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-mix", "bogus"},
+		{"-sweep", "0"},
+		{"-c", "0"},
+		{"-duration", "0s"},
+	} {
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("run(%v): want non-zero exit", args)
+		}
+	}
+}

@@ -179,6 +179,11 @@ func (k ViolationKind) String() string {
 	return fmt.Sprintf("violation(%d)", int(k))
 }
 
+// ViolationKindCount is the number of distinct ViolationKind values
+// (ViolationNone through ViolationRingAlarm). Callers keeping per-kind
+// counters or precomputed string tables size them with this.
+const ViolationKindCount = int(ViolationRingAlarm) + 1
+
 // Violation is a failed validation: what went wrong and the ring the
 // reference was validated against.
 type Violation struct {
@@ -193,14 +198,77 @@ func (v *Violation) Error() string {
 // violate is a local shorthand for constructing a violation.
 func violate(k ViolationKind, r Ring) *Violation { return &Violation{Kind: k, Ring: r} }
 
+// ---- Value-form checks ----
+//
+// Each Check* predicate below has a *Check twin that returns the bare
+// ViolationKind instead of a heap-allocated *Violation. The pointer
+// forms are retained for callers that propagate violations as errors
+// (the CPU trap path); the value forms are the every-reference fast
+// path — the paper's point is precisely that the common-case check is
+// branch-cheap, and a reference monitor answering millions of decisions
+// must not allocate per denial. The pointer forms are thin wrappers, so
+// the two can never disagree.
+
+// BoundCheck is the value form of CheckBound: it validates presence and
+// the word number against the segment bound, returning the violation
+// kind (ViolationNone when the reference is in bounds).
+func BoundCheck(v SDWView, wordno uint32) ViolationKind {
+	if !v.Present {
+		return ViolationMissingSegment
+	}
+	if wordno >= v.Bound {
+		return ViolationBound
+	}
+	return ViolationNone
+}
+
+// FetchCheck is the value form of CheckFetch.
+func FetchCheck(v SDWView, wordno uint32, ring Ring) ViolationKind {
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return k
+	}
+	if !v.Execute {
+		return ViolationNoExecute
+	}
+	if !v.InExecuteBracket(ring) {
+		return ViolationExecuteBracket
+	}
+	return ViolationNone
+}
+
+// ReadCheck is the value form of CheckRead.
+func ReadCheck(v SDWView, wordno uint32, effRing Ring) ViolationKind {
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return k
+	}
+	if !v.Read {
+		return ViolationNoRead
+	}
+	if !v.InReadBracket(effRing) {
+		return ViolationReadBracket
+	}
+	return ViolationNone
+}
+
+// WriteCheck is the value form of CheckWrite.
+func WriteCheck(v SDWView, wordno uint32, effRing Ring) ViolationKind {
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return k
+	}
+	if !v.Write {
+		return ViolationNoWrite
+	}
+	if !v.InWriteBracket(effRing) {
+		return ViolationWriteBracket
+	}
+	return ViolationNone
+}
+
 // CheckBound validates the word number against the segment bound. Every
 // reference, of any kind, performs this check during address translation.
 func CheckBound(v SDWView, wordno uint32, ring Ring) *Violation {
-	if !v.Present {
-		return violate(ViolationMissingSegment, ring)
-	}
-	if wordno >= v.Bound {
-		return violate(ViolationBound, ring)
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return violate(k, ring)
 	}
 	return nil
 }
@@ -212,14 +280,8 @@ func CheckBound(v SDWView, wordno uint32, ring Ring) *Violation {
 // ring, because the instruction's own location was determined by a
 // previously validated transfer.
 func CheckFetch(v SDWView, wordno uint32, ring Ring) *Violation {
-	if viol := CheckBound(v, wordno, ring); viol != nil {
-		return viol
-	}
-	if !v.Execute {
-		return violate(ViolationNoExecute, ring)
-	}
-	if !v.InExecuteBracket(ring) {
-		return violate(ViolationExecuteBracket, ring)
+	if k := FetchCheck(v, wordno, ring); k != ViolationNone {
+		return violate(k, ring)
 	}
 	return nil
 }
@@ -229,28 +291,16 @@ func CheckFetch(v SDWView, wordno uint32, ring Ring) *Violation {
 // (Figure 5). effRing is TPR.RING, the effective ring at the time of the
 // reference.
 func CheckRead(v SDWView, wordno uint32, effRing Ring) *Violation {
-	if viol := CheckBound(v, wordno, effRing); viol != nil {
-		return viol
-	}
-	if !v.Read {
-		return violate(ViolationNoRead, effRing)
-	}
-	if !v.InReadBracket(effRing) {
-		return violate(ViolationReadBracket, effRing)
+	if k := ReadCheck(v, wordno, effRing); k != ViolationNone {
+		return violate(k, effRing)
 	}
 	return nil
 }
 
 // CheckWrite is the operand-write validation of Figure 6.
 func CheckWrite(v SDWView, wordno uint32, effRing Ring) *Violation {
-	if viol := CheckBound(v, wordno, effRing); viol != nil {
-		return viol
-	}
-	if !v.Write {
-		return violate(ViolationNoWrite, effRing)
-	}
-	if !v.InWriteBracket(effRing) {
-		return violate(ViolationWriteBracket, effRing)
+	if k := WriteCheck(v, wordno, effRing); k != ViolationNone {
+		return violate(k, effRing)
 	}
 	return nil
 }
@@ -284,19 +334,33 @@ func EffectiveRingIndirect(cur, indRing, containerR1 Ring) Ring {
 // influenced the target address of a transfer that will execute with
 // the current ring's privilege).
 func CheckTransfer(v SDWView, wordno uint32, iprRing, effRing Ring) *Violation {
-	if effRing > iprRing {
-		return violate(ViolationRingAlarm, effRing)
-	}
-	if viol := CheckBound(v, wordno, iprRing); viol != nil {
-		return viol
-	}
-	if !v.Execute {
-		return violate(ViolationNoExecute, iprRing)
-	}
-	if !v.InExecuteBracket(iprRing) {
-		return violate(ViolationExecuteBracket, iprRing)
+	if k := TransferCheck(v, wordno, iprRing, effRing); k != ViolationNone {
+		// The ring alarm is detected against the effective ring; every
+		// other transfer check validates in the current ring.
+		ring := iprRing
+		if k == ViolationRingAlarm {
+			ring = effRing
+		}
+		return violate(k, ring)
 	}
 	return nil
+}
+
+// TransferCheck is the value form of CheckTransfer.
+func TransferCheck(v SDWView, wordno uint32, iprRing, effRing Ring) ViolationKind {
+	if effRing > iprRing {
+		return ViolationRingAlarm
+	}
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return k
+	}
+	if !v.Execute {
+		return ViolationNoExecute
+	}
+	if !v.InExecuteBracket(iprRing) {
+		return ViolationExecuteBracket
+	}
+	return ViolationNone
 }
 
 // CallOutcome classifies what a CALL instruction does once validated.
@@ -352,19 +416,29 @@ type CallDecision struct {
 // (ViolationRingAlarm) rather than quietly calling with reduced
 // privilege.
 func DecideCall(v SDWView, wordno uint32, iprRing, effRing Ring, sameSegment bool) (CallDecision, *Violation) {
+	decision, k := CallCheck(v, wordno, iprRing, effRing, sameSegment)
+	if k != ViolationNone {
+		return decision, violate(k, effRing)
+	}
+	return decision, nil
+}
+
+// CallCheck is the value form of DecideCall: the same Figure 8 decision
+// procedure, returning the bare violation kind.
+func CallCheck(v SDWView, wordno uint32, iprRing, effRing Ring, sameSegment bool) (CallDecision, ViolationKind) {
 	var none CallDecision
-	if viol := CheckBound(v, wordno, effRing); viol != nil {
-		return none, viol
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return none, k
 	}
 	if !v.Execute {
-		return none, violate(ViolationNoExecute, effRing)
+		return none, ViolationNoExecute
 	}
 
 	// Gate check: every CALL must be directed at a gate location, even
 	// within the same ring — the paper's error-detection choice — except
 	// when the target is in the same segment as the CALL instruction.
 	if !sameSegment && wordno >= v.GateCount {
-		return none, violate(ViolationNotAGate, effRing)
+		return none, ViolationNotAGate
 	}
 
 	switch {
@@ -373,9 +447,9 @@ func DecideCall(v SDWView, wordno uint32, iprRing, effRing Ring, sameSegment boo
 		if effRing > iprRing {
 			// Would raise the ring of execution via PR or indirection —
 			// an upward call in disguise; access violation.
-			return none, violate(ViolationRingAlarm, effRing)
+			return none, ViolationRingAlarm
 		}
-		return CallDecision{Outcome: CallSameRing, NewRing: effRing}, nil
+		return CallDecision{Outcome: CallSameRing, NewRing: effRing}, ViolationNone
 
 	case v.InGateExtension(effRing):
 		// Downward call through a gate: ring switches to the top of the
@@ -383,20 +457,20 @@ func DecideCall(v SDWView, wordno uint32, iprRing, effRing Ring, sameSegment boo
 		if v.R2 > iprRing {
 			// The "top of execute bracket" is still above the true ring
 			// of execution; treat as the same disguised-upward error.
-			return none, violate(ViolationRingAlarm, effRing)
+			return none, ViolationRingAlarm
 		}
-		return CallDecision{Outcome: CallDownward, NewRing: v.R2}, nil
+		return CallDecision{Outcome: CallDownward, NewRing: v.R2}, ViolationNone
 
 	case effRing < v.R1:
 		// Upward call: execute bracket bottom above the caller. Hardware
 		// traps for software mediation. The eventual ring of execution,
 		// set by software, is the bottom of the execute bracket.
-		return CallDecision{Outcome: CallUpwardTrap, NewRing: v.R1}, nil
+		return CallDecision{Outcome: CallUpwardTrap, NewRing: v.R1}, ViolationNone
 
 	default:
 		// effRing > R3: above the gate extension; the ring holds no
 		// transfer-to-gate capability for this segment.
-		return none, violate(ViolationGateExtension, effRing)
+		return none, ViolationGateExtension
 	}
 }
 
@@ -446,24 +520,34 @@ type ReturnDecision struct {
 // immediately after an upward ring switch must come from a segment
 // executable in the new, higher-numbered ring.
 func DecideReturn(v SDWView, wordno uint32, iprRing, effRing Ring) (ReturnDecision, *Violation) {
+	decision, k := ReturnCheck(v, wordno, iprRing, effRing)
+	if k != ViolationNone {
+		return decision, violate(k, effRing)
+	}
+	return decision, nil
+}
+
+// ReturnCheck is the value form of DecideReturn: the same Figure 9
+// decision procedure, returning the bare violation kind.
+func ReturnCheck(v SDWView, wordno uint32, iprRing, effRing Ring) (ReturnDecision, ViolationKind) {
 	var none ReturnDecision
 	if effRing < iprRing {
 		// Downward return: software mediation required.
-		return ReturnDecision{Outcome: ReturnDownwardTrap, NewRing: effRing}, nil
+		return ReturnDecision{Outcome: ReturnDownwardTrap, NewRing: effRing}, ViolationNone
 	}
-	if viol := CheckBound(v, wordno, effRing); viol != nil {
-		return none, viol
+	if k := BoundCheck(v, wordno); k != ViolationNone {
+		return none, k
 	}
 	if !v.Execute {
-		return none, violate(ViolationNoExecute, effRing)
+		return none, ViolationNoExecute
 	}
 	if !v.InExecuteBracket(effRing) {
-		return none, violate(ViolationExecuteBracket, effRing)
+		return none, ViolationExecuteBracket
 	}
 	if effRing == iprRing {
-		return ReturnDecision{Outcome: ReturnSameRing, NewRing: effRing}, nil
+		return ReturnDecision{Outcome: ReturnSameRing, NewRing: effRing}, ViolationNone
 	}
-	return ReturnDecision{Outcome: ReturnUpward, NewRing: effRing}, nil
+	return ReturnDecision{Outcome: ReturnUpward, NewRing: effRing}, ViolationNone
 }
 
 // RaisePRRings implements the PR adjustment of Figure 9 for an upward

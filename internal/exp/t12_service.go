@@ -80,8 +80,17 @@ func t12Probes() []service.Query {
 // t12Strip clears the fields that legitimately differ between a
 // concurrent decision and its oracle counterpart.
 func t12Strip(d service.Decision) service.Decision {
-	d.VersionLo, d.VersionHi, d.Worker = 0, 0, 0
+	d.VersionLo, d.VersionHi, d.Worker, d.Shard = 0, 0, 0, 0
 	return d
+}
+
+// t12Store builds the image under a single-shard store: T12's oracle
+// indexes the whole edit script by epoch/2, which is only meaningful
+// when one shard's epoch counts every mutation. The per-shard version
+// of this property is exercised by TestShardedConcurrentOracle in
+// internal/service.
+func t12Store() (*service.Store, error) {
+	return service.NewStore(service.StoreConfig{Shards: 1}, t12Segments())
 }
 
 func init() {
@@ -94,7 +103,7 @@ func init() {
 		)
 		ctx := context.Background()
 
-		st, err := service.NewStore(service.StoreConfig{}, t12Segments())
+		st, err := t12Store()
 		if err != nil {
 			return err
 		}
@@ -161,7 +170,7 @@ func init() {
 		// Oracle phase: a fresh store stepped through the same script,
 		// served by a single uncached worker, answers each probe at every
 		// state k.
-		ost, err := service.NewStore(service.StoreConfig{}, t12Segments())
+		ost, err := t12Store()
 		if err != nil {
 			return err
 		}

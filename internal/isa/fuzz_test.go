@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// FuzzDecodeInstruction checks that instruction decode and encode are
+// exact inverses over the full 36-bit word space. The instruction
+// layout (op 27-35, I 26, PRREL 25, PR 22-24, TAG 18-21, offset 0-17)
+// covers every bit of the word, so Encode(Decode(w)) must reproduce w
+// bit for bit — any drift means a field moved or shrank. String must
+// render every word, defined opcode or not, without panicking.
+func FuzzDecodeInstruction(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(word.Mask)
+	f.Add(Instruction{Op: CALL, PRRel: true, PR: 3, Offset: 0o17}.Encode().Uint64())
+	f.Add(Instruction{Op: LDA, Ind: true, Tag: 5, Offset: 0o777777}.Encode().Uint64())
+	f.Add(Instruction{Op: RETT, Offset: 1}.Encode().Uint64())
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		w := word.FromUint64(raw)
+		inst := DecodeInstruction(w)
+		re := inst.Encode()
+		if re != w {
+			t.Fatalf("Encode(Decode(%012o)) = %012o", w.Uint64(), re.Uint64())
+		}
+		if again := DecodeInstruction(re); again != inst {
+			t.Fatalf("decode not stable: %+v vs %+v", inst, again)
+		}
+		if s := inst.String(); s == "" {
+			t.Fatalf("empty String for %+v", inst)
+		}
+		if info, ok := Lookup(inst.Op); ok {
+			if op, ok := ByName(info.Name); !ok || op != inst.Op {
+				t.Fatalf("ByName(%q) = %v, %v; want %v", info.Name, op, ok, inst.Op)
+			}
+		}
+	})
+}
+
+// FuzzDecodeIndirect checks the same inverse property for indirect
+// words (ring 33-35, I 32, segno 18-31, wordno 0-17 — again a full
+// 36-bit cover).
+func FuzzDecodeIndirect(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(word.Mask)
+	f.Add(Indirect{Ring: 5, Further: true, Segno: 0o17777, Wordno: 0o777777}.Encode().Uint64())
+	f.Add(Indirect{Ring: 1, Segno: 3, Wordno: 42}.Encode().Uint64())
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		w := word.FromUint64(raw)
+		ind := DecodeIndirect(w)
+		if re := ind.Encode(); re != w {
+			t.Fatalf("Encode(Decode(%012o)) = %012o", w.Uint64(), re.Uint64())
+		}
+		if s := ind.String(); s == "" {
+			t.Fatalf("empty String for %+v", ind)
+		}
+	})
+}

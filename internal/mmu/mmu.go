@@ -308,7 +308,7 @@ func (u *MMU) CheckRead(v core.SDWView, segno, wordno uint32, ring core.Ring) *c
 	}
 	viol := core.CheckRead(v, wordno, ring)
 	if u.sink.Enabled() {
-		u.traceValidate("read", ring, segno, wordno, viol)
+		u.traceValidate(traceRead, ring, segno, wordno, viol)
 	}
 	return viol
 }
@@ -322,7 +322,7 @@ func (u *MMU) CheckWrite(v core.SDWView, segno, wordno uint32, ring core.Ring) *
 	}
 	viol := core.CheckWrite(v, wordno, ring)
 	if u.sink.Enabled() {
-		u.traceValidate("write", ring, segno, wordno, viol)
+		u.traceValidate(traceWrite, ring, segno, wordno, viol)
 	}
 	return viol
 }
@@ -347,7 +347,7 @@ func (u *MMU) CheckTransfer(v core.SDWView, segno, wordno uint32, execRing, effR
 	}
 	viol := core.CheckTransfer(v, wordno, execRing, effRing)
 	if u.sink.Enabled() {
-		u.traceValidate("transfer", effRing, segno, wordno, viol)
+		u.traceValidate(traceTransfer, effRing, segno, wordno, viol)
 	}
 	return viol
 }
@@ -380,12 +380,128 @@ func (u *MMU) DecideReturn(v core.SDWView, wordno uint32, execRing, effRing core
 	return core.ReturnDecision{Outcome: core.ReturnSameRing, NewRing: effRing}, nil
 }
 
-func (u *MMU) traceValidate(what string, ring core.Ring, segno, wordno uint32, viol *core.Violation) {
-	detail := what + " ok"
-	if viol != nil {
-		detail = what + " violation: " + viol.Kind.String()
+// Trace detail strings are precomputed so that recording a validation
+// event never concatenates (and therefore never allocates): the sink
+// contract is "cheap when enabled", and the decision service leaves an
+// AtomicCounters sink enabled on its hot path.
+const (
+	traceRead = iota
+	traceWrite
+	traceTransfer
+)
+
+var traceOK [3]string
+var traceViol [3][core.ViolationKindCount]string
+
+func init() {
+	for i, what := range [3]string{"read", "write", "transfer"} {
+		traceOK[i] = what + " ok"
+		for k := range traceViol[i] {
+			traceViol[i][k] = what + " violation: " + core.ViolationKind(k).String()
+		}
+	}
+}
+
+// traceValidateKind records one validation outcome using the
+// precomputed detail tables; what is one of traceRead/Write/Transfer.
+func (u *MMU) traceValidateKind(what int, ring core.Ring, segno, wordno uint32, kind core.ViolationKind) {
+	detail := traceOK[what]
+	if kind != core.ViolationNone && int(kind) < len(traceViol[what]) {
+		detail = traceViol[what][kind]
 	}
 	u.sink.Record(trace.Event{Kind: trace.KindValidate, Ring: ring, Segno: segno, Wordno: wordno, Detail: detail})
+}
+
+func (u *MMU) traceValidate(what int, ring core.Ring, segno, wordno uint32, viol *core.Violation) {
+	kind := core.ViolationNone
+	if viol != nil {
+		kind = viol.Kind
+	}
+	u.traceValidateKind(what, ring, segno, wordno, kind)
+}
+
+// ---- Allocation-free query variants ----
+//
+// Access, Call and Return are the decision-service fast path: one SDW
+// fetch through the associative memory plus the bracket check, with the
+// outcome returned as a bare core.ViolationKind instead of an allocated
+// *core.Violation. They honour the same cost model, tracing and T5
+// ablation rules as the Check*/Decide* forms; the error return is a
+// physical memory fault only, never an access outcome.
+
+// AccessView validates one reference of the given kind against an
+// already-fetched view, allocation-free. Callers that do not hold the
+// view use Access, which performs the SDW fetch too.
+func (u *MMU) AccessView(v core.SDWView, segno, wordno uint32, ring core.Ring, kind core.AccessKind) core.ViolationKind {
+	*u.cycles += u.opt.Costs.Validate
+	if !u.opt.Validate {
+		return core.BoundCheck(v, wordno)
+	}
+	var k core.ViolationKind
+	switch kind {
+	case core.AccessRead:
+		k = core.ReadCheck(v, wordno, ring)
+		if u.sink.Enabled() {
+			u.traceValidateKind(traceRead, ring, segno, wordno, k)
+		}
+	case core.AccessWrite:
+		k = core.WriteCheck(v, wordno, ring)
+		if u.sink.Enabled() {
+			u.traceValidateKind(traceWrite, ring, segno, wordno, k)
+		}
+	default: // core.AccessExecute; the fetch check is untraced, as in CheckFetch
+		k = core.FetchCheck(v, wordno, ring)
+	}
+	return k
+}
+
+// Access validates one reference end to end — SDW retrieval through the
+// associative memory, then the kind's bracket check — without
+// allocating. ring is the effective ring for read/write and the ring of
+// execution for execute.
+func (u *MMU) Access(segno, wordno uint32, ring core.Ring, kind core.AccessKind) (core.ViolationKind, error) {
+	sdw, err := u.FetchSDW(segno)
+	if err != nil {
+		return core.ViolationNone, err
+	}
+	return u.AccessView(sdw.View(), segno, wordno, ring, kind), nil
+}
+
+// Call evaluates the CALL decision of Figure 8 end to end, allocation-
+// free: SDW retrieval, then core.CallCheck under the same ablation rule
+// as DecideCall.
+func (u *MMU) Call(segno, wordno uint32, execRing, effRing core.Ring, sameSegment bool) (core.CallDecision, core.ViolationKind, error) {
+	sdw, err := u.FetchSDW(segno)
+	if err != nil {
+		return core.CallDecision{}, core.ViolationNone, err
+	}
+	v := sdw.View()
+	decision, k := core.CallCheck(v, wordno, execRing, effRing, sameSegment)
+	if k == core.ViolationNone || u.opt.Validate {
+		return decision, k, nil
+	}
+	if bk := core.BoundCheck(v, wordno); bk != core.ViolationNone {
+		return core.CallDecision{}, bk, nil
+	}
+	return core.CallDecision{Outcome: core.CallSameRing, NewRing: execRing}, core.ViolationNone, nil
+}
+
+// Return evaluates the RETURN decision of Figure 9 end to end,
+// allocation-free, under the same ablation rule as DecideReturn.
+func (u *MMU) Return(segno, wordno uint32, execRing, effRing core.Ring) (core.ReturnDecision, core.ViolationKind, error) {
+	sdw, err := u.FetchSDW(segno)
+	if err != nil {
+		return core.ReturnDecision{}, core.ViolationNone, err
+	}
+	v := sdw.View()
+	decision, k := core.ReturnCheck(v, wordno, execRing, effRing)
+	if k == core.ViolationNone || u.opt.Validate {
+		return decision, k, nil
+	}
+	if bk := core.BoundCheck(v, wordno); bk != core.ViolationNone {
+		return core.ReturnDecision{}, bk, nil
+	}
+	return core.ReturnDecision{Outcome: core.ReturnSameRing, NewRing: effRing}, core.ViolationNone, nil
 }
 
 // ---- Translation and core access ----

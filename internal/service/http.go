@@ -222,6 +222,7 @@ type healthResponse struct {
 	OK       bool   `json:"ok"`
 	Workers  int    `json:"workers"`
 	Segments int    `json:"segments"`
+	Shards   int    `json:"shards"`
 	Version  uint64 `json:"version"`
 }
 
@@ -230,6 +231,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OK:       true,
 		Workers:  s.svc.Workers(),
 		Segments: len(s.svc.Store().Segments()),
+		Shards:   s.svc.Store().Shards(),
 		Version:  s.svc.Store().Version(),
 	})
 }

@@ -9,9 +9,8 @@ import (
 	"repro/internal/trace"
 )
 
-// violationKinds is the number of distinct ViolationKind values
-// (ViolationNone through ViolationRingAlarm).
-const violationKinds = int(core.ViolationRingAlarm) + 1
+// violationKinds is the number of distinct ViolationKind values.
+const violationKinds = core.ViolationKindCount
 
 // latencyBuckets is the number of power-of-two latency histogram
 // buckets; bucket i counts batches whose queue-to-completion latency
@@ -76,7 +75,7 @@ func (m *Metrics) count(op Op, d *Decision) {
 
 // observe tallies one completed batch and its queue-to-completion
 // latency.
-func (m *Metrics) observe(b *batch, _ []Decision) {
+func (m *Metrics) observe(b *batch) {
 	m.batches.Add(1)
 	ns := time.Since(b.enqueued).Nanoseconds()
 	bucket := 0

@@ -88,11 +88,18 @@ type Decision struct {
 	Trapped bool `json:"trapped,omitempty"`
 	// Err reports a malformed query (unknown op, unknown segment name).
 	Err string `json:"err,omitempty"`
-	// VersionLo and VersionHi bracket the store mutation epoch the
-	// decision was evaluated under: equal and even means a clean
-	// snapshot at that version (see the package comment).
+	// VersionLo and VersionHi bracket the mutation epoch of the
+	// descriptor-store shard the decision consulted: equal and even
+	// means a clean snapshot of that shard at that version (see the
+	// package comment).
 	VersionLo uint64 `json:"version_lo"`
 	VersionHi uint64 `json:"version_hi"`
+	// Shard is the shard whose epoch VersionLo/VersionHi refer to.
+	// It is -1 when no single shard was consulted: a malformed query
+	// (no versions reported) or an effring chain touching segments in
+	// several shards — the interval then brackets the store-wide
+	// Version sum instead.
+	Shard int `json:"shard"`
 	// Worker is the index of the worker (simulated processor) that
 	// evaluated the decision.
 	Worker int `json:"worker"`
@@ -131,10 +138,14 @@ var (
 	ErrBatchTooLarge = errors.New("service: batch exceeds limit")
 )
 
-// batch is one queued unit of work.
+// batch is one queued unit of work. Batch descriptors are pooled and
+// their reply channels reused, so a steady submit/decide cycle runs
+// without allocating; decisions are written into the caller-supplied
+// dst slice in place.
 type batch struct {
 	queries  []Query
-	resp     chan []Decision
+	dst      []Decision
+	resp     chan struct{}
 	enqueued time.Time
 }
 
@@ -154,12 +165,13 @@ type worker struct {
 // Service is the concurrent protection-decision engine: a worker pool
 // over one Store, fed by a bounded batch queue.
 type Service struct {
-	store   *Store
-	cfg     Config
-	queue   chan *batch
-	workers []*worker
-	events  *trace.AtomicCounters
-	metrics *Metrics
+	store     *Store
+	cfg       Config
+	queue     chan *batch
+	workers   []*worker
+	events    *trace.AtomicCounters
+	metrics   *Metrics
+	batchPool sync.Pool
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
@@ -203,6 +215,7 @@ func New(st *Store, cfg Config) (*Service, error) {
 		events:  &trace.AtomicCounters{},
 		metrics: newMetrics(),
 	}
+	s.batchPool.New = func() any { return &batch{resp: make(chan struct{}, 1)} }
 	opt.Sink = s.events
 	for i := 0; i < cfg.Workers; i++ {
 		u, err := st.NewWorkerMMU(opt)
@@ -235,31 +248,64 @@ func (s *Service) QueueLen() int { return len(s.queue) }
 // context abandons the wait (the batch still completes; its reply
 // channel is buffered, so no worker blocks).
 func (s *Service) Submit(ctx context.Context, queries []Query) ([]Decision, error) {
-	if len(queries) > s.cfg.BatchLimit {
-		return nil, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(queries), s.cfg.BatchLimit)
+	ds := make([]Decision, len(queries))
+	if err := s.SubmitInto(ctx, queries, ds); err != nil {
+		return nil, err
 	}
-	b := &batch{queries: queries, resp: make(chan []Decision, 1), enqueued: time.Now()}
+	return ds, nil
+}
+
+// SubmitInto is the allocation-free form of Submit: decision i for
+// queries[i] is written into dst[i], which must hold at least
+// len(queries) elements. With the batch-descriptor pool warm, a
+// SubmitInto round trip performs no heap allocation (guarded by
+// TestSubmitIntoZeroAlloc).
+//
+// After a cancelled context the batch keeps running: the worker still
+// writes into dst and signals the (buffered) reply channel, so nothing
+// blocks, but the caller must treat dst as poisoned — discard it
+// rather than passing it to another in-flight call.
+func (s *Service) SubmitInto(ctx context.Context, queries []Query, dst []Decision) error {
+	if len(queries) > s.cfg.BatchLimit {
+		return fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(queries), s.cfg.BatchLimit)
+	}
+	if len(dst) < len(queries) {
+		return fmt.Errorf("service: destination holds %d decisions for %d queries", len(dst), len(queries))
+	}
+	b := s.batchPool.Get().(*batch)
+	b.queries, b.dst, b.enqueued = queries, dst[:len(queries)], time.Now()
 
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, ErrClosed
+		s.putBatch(b)
+		return ErrClosed
 	}
 	select {
 	case s.queue <- b:
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
+		s.putBatch(b)
 		s.metrics.rejected.Add(1)
-		return nil, ErrQueueFull
+		return ErrQueueFull
 	}
 
 	select {
-	case ds := <-b.resp:
-		return ds, nil
+	case <-b.resp:
+		s.putBatch(b)
+		return nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		// Abandon the descriptor to the garbage collector: the worker
+		// may still be writing through it.
+		return ctx.Err()
 	}
+}
+
+// putBatch drops a descriptor's references and returns it to the pool.
+func (s *Service) putBatch(b *batch) {
+	b.queries, b.dst = nil, nil
+	s.batchPool.Put(b)
 }
 
 // Close stops accepting work, lets the workers drain every queued
@@ -287,39 +333,33 @@ func (s *Service) run(w *worker) {
 			}
 			<-s.hold
 		}
-		ds := make([]Decision, len(b.queries))
 		for i := range b.queries {
-			ds[i] = s.decide(w, &b.queries[i])
+			s.decide(w, &b.queries[i], &b.dst[i])
 		}
-		s.metrics.observe(b, ds)
+		s.metrics.observe(b)
 		w.statsMu.Lock()
 		w.published = w.u.CacheStats()
 		w.statsMu.Unlock()
-		b.resp <- ds
+		b.resp <- struct{}{}
 	}
 }
 
-// decide evaluates one query on worker w, bracketing it with the
-// store's mutation epoch.
-func (s *Service) decide(w *worker, q *Query) Decision {
-	d := Decision{Worker: w.index}
-	d.VersionLo = s.store.Version()
-	s.eval(w, q, &d)
-	d.VersionHi = s.store.Version()
-	s.metrics.count(q.Op, &d)
-	return d
-}
-
-// eval answers q into d using w's MMU.
-func (s *Service) eval(w *worker, q *Query, d *Decision) {
+// decide evaluates one query on worker w into d, in place and without
+// allocating (for well-formed queries).
+func (s *Service) decide(w *worker, q *Query, d *Decision) {
+	*d = Decision{Worker: w.index}
 	evalQuery(s.store, w.u, q, d)
+	s.metrics.count(q.Op, d)
 }
 
 // evalQuery answers q into d using unit u over store st — the whole
 // decision procedure, shared by the concurrent workers and by
-// single-threaded oracle replays (T12). Malformed queries set d.Err;
-// architectural outcomes (violations, traps) are regular decisions.
+// single-threaded oracle replays (T12 and the sharded differential
+// test). Malformed queries set d.Err and report no epoch interval;
+// architectural outcomes (violations, traps) are regular decisions
+// bracketed by the consulted shard's epoch.
 func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
+	d.Shard = -1
 	segno := q.Segno
 	if q.Segment != "" {
 		n, ok := st.Segno(q.Segment)
@@ -336,25 +376,22 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 
 	switch q.Op {
 	case OpAccess:
-		sdw, err := u.FetchSDW(segno)
-		if err != nil {
-			d.Err = err.Error()
-			return
-		}
-		v := sdw.View()
-		var viol *core.Violation
 		switch q.Kind {
-		case core.AccessRead:
-			viol = u.CheckRead(v, segno, q.Wordno, q.Ring)
-		case core.AccessWrite:
-			viol = u.CheckWrite(v, segno, q.Wordno, q.Ring)
-		case core.AccessExecute:
-			viol = u.CheckFetch(v, q.Wordno, q.Ring)
+		case core.AccessRead, core.AccessWrite, core.AccessExecute:
 		default:
 			d.Err = fmt.Sprintf("invalid access kind %d", q.Kind)
 			return
 		}
-		d.setViolation(viol)
+		sh := st.ShardOf(segno)
+		d.Shard = sh
+		d.VersionLo = st.ShardVersion(sh)
+		kind, err := u.Access(segno, q.Wordno, q.Ring, q.Kind)
+		d.VersionHi = st.ShardVersion(sh)
+		if err != nil {
+			d.Err = err.Error()
+			return
+		}
+		d.setViolationKind(kind)
 
 	case OpCall:
 		effRing := q.Ring
@@ -365,14 +402,17 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 			d.Err = fmt.Sprintf("invalid effective ring %d", effRing)
 			return
 		}
-		sdw, err := u.FetchSDW(segno)
+		sh := st.ShardOf(segno)
+		d.Shard = sh
+		d.VersionLo = st.ShardVersion(sh)
+		dec, kind, err := u.Call(segno, q.Wordno, q.Ring, effRing, q.SameSegment)
+		d.VersionHi = st.ShardVersion(sh)
 		if err != nil {
 			d.Err = err.Error()
 			return
 		}
-		dec, viol := u.DecideCall(sdw.View(), q.Wordno, q.Ring, effRing, q.SameSegment)
-		if viol != nil {
-			d.setViolation(viol)
+		if kind != core.ViolationNone {
+			d.setViolationKind(kind)
 			return
 		}
 		d.Allowed = true
@@ -389,14 +429,17 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 			d.Err = fmt.Sprintf("invalid effective ring %d", effRing)
 			return
 		}
-		sdw, err := u.FetchSDW(segno)
+		sh := st.ShardOf(segno)
+		d.Shard = sh
+		d.VersionLo = st.ShardVersion(sh)
+		dec, kind, err := u.Return(segno, q.Wordno, q.Ring, effRing)
+		d.VersionHi = st.ShardVersion(sh)
 		if err != nil {
 			d.Err = err.Error()
 			return
 		}
-		dec, viol := u.DecideReturn(sdw.View(), q.Wordno, q.Ring, effRing)
-		if viol != nil {
-			d.setViolation(viol)
+		if kind != core.ViolationNone {
+			d.setViolationKind(kind)
 			return
 		}
 		d.Allowed = true
@@ -405,12 +448,37 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 		d.Trapped = dec.Outcome == core.ReturnDownwardTrap
 
 	case OpEffRing:
-		eff := q.Ring
-		for _, step := range q.Chain {
+		// Pre-scan the chain: validate the ring fields and find which
+		// shards the indirect steps will consult, so the epoch interval
+		// can name a single shard when only one is involved. A chain
+		// spanning shards (or touching none) is bracketed by the
+		// store-wide Version sum with Shard = -1.
+		sh := -1
+		single := true
+		for i := range q.Chain {
+			step := &q.Chain[i]
 			if !step.Ring.Valid() {
 				d.Err = fmt.Sprintf("invalid ring %d in chain", step.Ring)
 				return
 			}
+			if step.PR {
+				continue
+			}
+			if s := st.ShardOf(step.Segno); sh == -1 {
+				sh = s
+			} else if sh != s {
+				single = false
+			}
+		}
+		if single && sh >= 0 {
+			d.Shard = sh
+			d.VersionLo = st.ShardVersion(sh)
+		} else {
+			sh = -1
+			d.VersionLo = st.Version()
+		}
+		eff := q.Ring
+		for _, step := range q.Chain {
 			if step.PR {
 				eff = core.EffectiveRingPR(eff, step.Ring)
 				continue
@@ -423,11 +491,21 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 			v := sdw.View()
 			// The indirect word itself is read during effective address
 			// formation, validated like any operand read (Figure 5).
-			if viol := u.CheckRead(v, step.Segno, 0, eff); viol != nil {
-				d.setViolation(viol)
+			if kind := u.AccessView(v, step.Segno, 0, eff, core.AccessRead); kind != core.ViolationNone {
+				if sh >= 0 {
+					d.VersionHi = st.ShardVersion(sh)
+				} else {
+					d.VersionHi = st.Version()
+				}
+				d.setViolationKind(kind)
 				return
 			}
 			eff = core.EffectiveRingIndirect(eff, step.Ring, v.R1)
+		}
+		if sh >= 0 {
+			d.VersionHi = st.ShardVersion(sh)
+		} else {
+			d.VersionHi = st.Version()
 		}
 		d.Allowed = true
 		d.NewRing = eff
@@ -437,13 +515,15 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 	}
 }
 
-// setViolation fills the violation fields (allowed when viol is nil).
-func (d *Decision) setViolation(viol *core.Violation) {
-	if viol == nil {
+// setViolationKind fills the violation fields (allowed when kind is
+// ViolationNone). ViolationKind.String returns an interned constant,
+// so denial decisions allocate nothing either.
+func (d *Decision) setViolationKind(kind core.ViolationKind) {
+	if kind == core.ViolationNone {
 		d.Allowed = true
 		return
 	}
 	d.Allowed = false
-	d.Violation = viol.Kind.String()
-	d.ViolationKind = viol.Kind
+	d.Violation = kind.String()
+	d.ViolationKind = kind
 }

@@ -144,16 +144,48 @@ func TestDecisions(t *testing.T) {
 		if got.VersionLo != 0 || got.VersionHi != 0 {
 			t.Errorf("%s: version interval [%d,%d] on an unmutated store", c.name, got.VersionLo, got.VersionHi)
 		}
+		if want := wantShard(svc.Store(), c.q); got.Shard != want {
+			t.Errorf("%s: shard = %d, want %d", c.name, got.Shard, want)
+		}
 		want := c.want
 		want.Violation = want.ViolationKind.String()
 		if want.ViolationKind == core.ViolationNone {
 			want.Violation = ""
 		}
-		got.VersionLo, got.VersionHi, got.Worker = 0, 0, 0
+		got.VersionLo, got.VersionHi, got.Worker, got.Shard = 0, 0, 0, 0
 		if got != want {
 			t.Errorf("%s: got %+v, want %+v", c.name, got, want)
 		}
 	}
+}
+
+// wantShard computes, independently of evalQuery, the shard a
+// well-formed query's decision must report: the target segment's shard,
+// or for effring the single shard its indirect steps consult (-1 when
+// none or several).
+func wantShard(st *Store, q Query) int {
+	segno := q.Segno
+	if q.Segment != "" {
+		if n, ok := st.Segno(q.Segment); ok {
+			segno = n
+		}
+	}
+	if q.Op != OpEffRing {
+		return st.ShardOf(segno)
+	}
+	sh := -1
+	for _, step := range q.Chain {
+		if step.PR {
+			continue
+		}
+		s := st.ShardOf(step.Segno)
+		if sh == -1 {
+			sh = s
+		} else if sh != s {
+			return -1
+		}
+	}
+	return sh
 }
 
 // TestQueryErrors checks that malformed queries come back as Err, not
@@ -178,6 +210,10 @@ func TestQueryErrors(t *testing.T) {
 		}
 		if d.Allowed {
 			t.Errorf("query %d: malformed query allowed", i)
+		}
+		if d.Shard != -1 || d.VersionLo != 0 || d.VersionHi != 0 {
+			t.Errorf("query %d: malformed query reports shard %d interval [%d,%d]; want no interval",
+				i, d.Shard, d.VersionLo, d.VersionHi)
 		}
 	}
 	if got := svc.Metrics().errors.Load(); got != uint64(len(bad)) {
@@ -335,66 +371,86 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 }
 
-// oracleScript is the fixed mutation sequence the concurrent oracle test
-// replays: each mutation changes only the even word of its descriptor
-// (brackets or the present bit), so a concurrent word-atomic reader sees
-// exactly the before or the after state, never a torn descriptor.
-func oracleScript(n int) []func(st *Store) error {
-	wide := core.Brackets{R1: 2, R2: 4, R3: 4}
-	narrow := core.Brackets{R1: 0, R2: 1, R3: 1}
+// shardScript is segment segno's mutation sequence for the sharded
+// oracle test: each mutation changes only the even word of its
+// descriptor (brackets or the present bit), so a concurrent word-atomic
+// reader sees exactly the before or the after state, never a torn
+// descriptor. Each segment of testSegments lives in its own shard (of
+// 4), so shard segno's epoch counts exactly these mutations.
+func shardScript(segno uint32, n int) []func(st *Store) error {
 	muts := make([]func(st *Store) error, n)
 	for i := range muts {
-		switch i % 4 {
-		case 0:
-			muts[i] = func(st *Store) error { return st.SetBrackets(0, true, true, false, narrow, 0) }
-		case 1:
-			muts[i] = func(st *Store) error { return st.Revoke(1) }
-		case 2:
-			muts[i] = func(st *Store) error { return st.SetBrackets(0, true, true, false, wide, 0) }
-		default:
-			muts[i] = func(st *Store) error { return st.Restore(1) }
+		alt := i%2 == 0
+		switch segno {
+		case 0: // data: brackets swing between wide and narrow
+			b := core.Brackets{R1: 2, R2: 4, R3: 4}
+			if alt {
+				b = core.Brackets{R1: 0, R2: 1, R3: 1}
+			}
+			muts[i] = func(st *Store) error { return st.SetBrackets(0, true, true, false, b, 0) }
+		case 1: // code: presence toggles
+			if alt {
+				muts[i] = func(st *Store) error { return st.Revoke(1) }
+			} else {
+				muts[i] = func(st *Store) error { return st.Restore(1) }
+			}
+		default: // secret: read bracket widens and narrows
+			b := core.Brackets{R1: 0, R2: 1, R3: 1}
+			if alt {
+				b = core.Brackets{R1: 0, R2: 3, R3: 3}
+			}
+			muts[i] = func(st *Store) error { return st.SetBrackets(2, true, false, false, b, 0) }
 		}
 	}
 	return muts
 }
 
-// oracleQueries is the fixed probe batch whose decisions depend on the
-// mutated descriptors (data brackets, code presence).
-func oracleQueries() []Query {
-	return []Query{
+// shardProbes is the fixed probe batch for the sharded oracle test,
+// every probe consulting exactly one segment; probeSegno gives the
+// segment (= shard, with 4 shards) each probe targets.
+func shardProbes() (probes []Query, probeSegno []uint32) {
+	probes = []Query{
 		{Op: OpAccess, Ring: 4, Segment: "data", Wordno: 3, Kind: core.AccessRead},
 		{Op: OpAccess, Ring: 1, Segment: "data", Kind: core.AccessWrite},
 		{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessWrite},
+		{Op: OpEffRing, Ring: 1, Chain: []ChainStep{{Ring: 0, Segno: 0}}},
 		{Op: OpAccess, Ring: 2, Segment: "code", Kind: core.AccessExecute},
 		{Op: OpCall, Ring: 4, Segment: "code", Wordno: 1},
 		{Op: OpCall, Ring: 0, Segment: "code", Wordno: 0},
 		{Op: OpReturn, Ring: 2, Segment: "code", EffRing: ring(3)},
-		{Op: OpEffRing, Ring: 1, Chain: []ChainStep{{Ring: 0, Segno: 0}}},
+		{Op: OpAccess, Ring: 1, Segment: "secret", Kind: core.AccessRead},
+		{Op: OpAccess, Ring: 3, Segment: "secret", Kind: core.AccessRead},
 	}
+	probeSegno = []uint32{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	return probes, probeSegno
 }
 
 // stripDecision clears the fields that legitimately differ between a
-// concurrent decision and its oracle counterpart.
+// concurrent decision and its oracle counterpart. Shard is kept: the
+// oracle store is built with the same shard count, so the reported
+// shard must agree too.
 func stripDecision(d Decision) Decision {
 	d.VersionLo, d.VersionHi, d.Worker = 0, 0, 0
 	return d
 }
 
-// TestConcurrentOracle is the T12 acceptance property at test scale:
-// four workers answer a fixed probe batch while a supervisor goroutine
-// streams SetBrackets/Revoke mutations through StoreSDW. Every decision
-// reports the mutation-epoch interval it was evaluated under; replaying
-// the mutation script single-threaded, each concurrent decision must be
-// identical to the oracle's decision at some state within its interval.
-// Run with -race to also exercise the coherence protocol under the race
-// detector.
-func TestConcurrentOracle(t *testing.T) {
+// TestShardedConcurrentOracle extends the T12 differential property to
+// the sharded store: one mutator goroutine per shard streams descriptor
+// edits while four workers answer single-segment probes. Every decision
+// reports the epoch interval of the shard it consulted; replaying that
+// shard's script single-threaded, the decision must be identical to the
+// oracle's answer at some state within the interval — regardless of
+// what the other shards' mutators were doing at the time. Run with
+// -race to also exercise the coherence protocol and the per-shard locks
+// under the race detector.
+func TestShardedConcurrentOracle(t *testing.T) {
 	const (
-		mutations = 2000
-		rounds    = 50
+		shards    = 4
+		mutations = 600 // per shard
+		rounds    = 30
 		clients   = 4
 	)
-	st, err := NewStore(StoreConfig{}, testSegments())
+	st, err := NewStore(StoreConfig{Shards: shards}, testSegments())
 	if err != nil {
 		t.Fatalf("NewStore: %v", err)
 	}
@@ -404,13 +460,16 @@ func TestConcurrentOracle(t *testing.T) {
 	}
 	defer svc.Close()
 
-	script := oracleScript(mutations)
-	probes := oracleQueries()
+	probes, probeSegno := shardProbes()
+	scripts := [3][]func(st *Store) error{}
+	for g := range scripts {
+		scripts[g] = shardScript(uint32(g), mutations)
+	}
 
 	// Concurrent phase: in every round the clients' batches race one
-	// slice of the mutation script. The round barrier guarantees edits
-	// interleave with decisions across the run even on a single-CPU
-	// host (within a round the scheduler decides).
+	// slice of each shard's script, with the three mutators themselves
+	// racing one another. The round barrier guarantees edits interleave
+	// with decisions across the run even on a single-CPU host.
 	type obs struct{ ds []Decision }
 	results := make(chan obs, clients*rounds)
 	perRound := mutations / rounds
@@ -431,53 +490,83 @@ func TestConcurrentOracle(t *testing.T) {
 				results <- obs{ds}
 			}()
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, m := range script[round*perRound : (round+1)*perRound] {
-				if err := m(st); err != nil {
-					t.Errorf("mutation: %v", err)
-					return
+		for g := range scripts {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, m := range scripts[g][round*perRound : (round+1)*perRound] {
+					if err := m(st); err != nil {
+						t.Errorf("shard %d mutation: %v", g, err)
+						return
+					}
 				}
-			}
-		}()
+			}()
+		}
 		wg.Wait()
 	}
 	close(results)
 
-	if got := st.Version(); got != 2*mutations {
-		t.Fatalf("final version = %d, want %d", got, 2*mutations)
+	for g := range scripts {
+		if got := st.ShardVersion(g); got != 2*mutations {
+			t.Fatalf("shard %d final epoch = %d, want %d", g, got, 2*mutations)
+		}
+	}
+	if got := st.ShardVersion(3); got != 0 {
+		t.Fatalf("empty shard 3 epoch = %d, want 0", got)
+	}
+	if got := st.Version(); got != uint64(len(scripts))*2*mutations {
+		t.Fatalf("store version = %d, want %d", got, len(scripts)*2*mutations)
 	}
 
-	// Oracle replay: a fresh store stepped through the same script, with
-	// one uncached MMU, gives the reference decision at every state.
-	oracleStore, err := NewStore(StoreConfig{}, testSegments())
-	if err != nil {
-		t.Fatalf("oracle NewStore: %v", err)
-	}
-	oracleMMU, err := oracleStore.NewWorkerMMU(mmu.Options{Validate: true})
-	if err != nil {
-		t.Fatalf("oracle MMU: %v", err)
-	}
-	oracle := make([][]Decision, mutations+1) // oracle[k][i]: probe i at state k
-	for k := 0; k <= mutations; k++ {
-		if k > 0 {
-			if err := script[k-1](oracleStore); err != nil {
-				t.Fatalf("oracle mutation %d: %v", k, err)
+	// Oracle replay, one shard at a time: a fresh store stepped through
+	// only shard g's script. Probes are single-segment, so the other
+	// shards' states cannot influence a shard-g decision — which is
+	// exactly the independence the oracle match below certifies.
+	oracle := [3][][]Decision{} // oracle[g][k][j]: shard-g probe j at state k
+	for g := range scripts {
+		ost, err := NewStore(StoreConfig{Shards: shards}, testSegments())
+		if err != nil {
+			t.Fatalf("oracle NewStore: %v", err)
+		}
+		u, err := ost.NewWorkerMMU(mmu.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("oracle MMU: %v", err)
+		}
+		oracle[g] = make([][]Decision, mutations+1)
+		for k := 0; k <= mutations; k++ {
+			if k > 0 {
+				if err := scripts[g][k-1](ost); err != nil {
+					t.Fatalf("oracle shard %d mutation %d: %v", g, k, err)
+				}
+			}
+			for i := range probes {
+				if probeSegno[i] != uint32(g) {
+					continue
+				}
+				var d Decision
+				evalQuery(ost, u, &probes[i], &d)
+				oracle[g][k] = append(oracle[g][k], stripDecision(d))
 			}
 		}
-		oracle[k] = make([]Decision, len(probes))
-		for i := range probes {
-			evalQuery(oracleStore, oracleMMU, &probes[i], &oracle[k][i])
-		}
+	}
+	// probeIdx[i] is probe i's index within its shard's oracle rows.
+	probeIdx := make([]int, len(probes))
+	seen := map[uint32]int{}
+	for i, g := range probeSegno {
+		probeIdx[i] = seen[g]
+		seen[g]++
 	}
 
 	checked, clean := 0, 0
 	for o := range results {
 		for i, d := range o.ds {
+			g := int(probeSegno[i])
+			if d.Shard != g {
+				t.Fatalf("probe %d: decision reports shard %d, want %d", i, d.Shard, g)
+			}
 			lo, hi := d.VersionLo, d.VersionHi
 			if hi < lo {
-				t.Fatalf("probe %d: version interval [%d,%d] runs backwards", i, lo, hi)
+				t.Fatalf("probe %d: epoch interval [%d,%d] runs backwards", i, lo, hi)
 			}
 			loState, hiState := lo/2, (hi+1)/2
 			if lo == hi && lo%2 == 0 {
@@ -486,11 +575,11 @@ func TestConcurrentOracle(t *testing.T) {
 			got := stripDecision(d)
 			matched := false
 			for k := loState; k <= hiState && !matched; k++ {
-				matched = got == oracle[k][i]
+				matched = got == oracle[g][k][probeIdx[i]]
 			}
 			if !matched {
-				t.Fatalf("probe %d: decision %+v matches no oracle state in [%d,%d]",
-					i, got, loState, hiState)
+				t.Fatalf("probe %d (shard %d): decision %+v matches no oracle state in [%d,%d]",
+					i, g, got, loState, hiState)
 			}
 			checked++
 		}
@@ -501,7 +590,7 @@ func TestConcurrentOracle(t *testing.T) {
 	if clean == 0 {
 		t.Error("no clean-snapshot decisions observed")
 	}
-	t.Logf("checked %d decisions (%d clean snapshots, %d overlapping a mutation) against %d oracle states",
+	t.Logf("checked %d decisions (%d clean snapshots, %d overlapping an edit) against %d oracle states per shard",
 		checked, clean, checked-clean, mutations+1)
 
 	snap := svc.Snapshot()
@@ -509,7 +598,7 @@ func TestConcurrentOracle(t *testing.T) {
 		t.Errorf("cache counters not exercised: %+v", snap.Cache)
 	}
 	if snap.Cache.Shootdowns == 0 {
-		t.Errorf("no shootdowns recorded despite %d mutations", mutations)
+		t.Errorf("no shootdowns recorded despite %d mutations", 3*mutations)
 	}
 	if len(snap.LatencyNs) == 0 {
 		t.Error("latency histogram empty")
@@ -517,9 +606,11 @@ func TestConcurrentOracle(t *testing.T) {
 }
 
 // TestOverlappedDecisionInterval pins a mutation open mid-flight and
-// checks that decisions evaluated during it report an odd epoch and
+// checks that decisions in the mutating shard report an odd epoch and
 // match one of the two states the mutation brackets — the non-singleton
-// half of the oracle property that TestConcurrentOracle rarely samples.
+// half of the oracle property that TestShardedConcurrentOracle rarely
+// samples — while decisions in other shards stay clean snapshots at
+// epoch 0, untouched by the in-flight edit.
 func TestOverlappedDecisionInterval(t *testing.T) {
 	st, err := NewStore(StoreConfig{}, testSegments())
 	if err != nil {
@@ -530,28 +621,29 @@ func TestOverlappedDecisionInterval(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	defer svc.Close()
+	codeShard := st.ShardOf(1)
 
 	// Hold one mutation open: revoke "code" (segno 1), then park inside
-	// the epoch-odd window.
+	// the epoch-odd window of its shard.
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- st.mutate(func() error {
-			sdw, err := st.sup.FetchSDW(1)
+		done <- st.mutate(1, func(sup *mmu.MMU) error {
+			sdw, err := sup.FetchSDW(1)
 			if err != nil {
 				return err
 			}
 			sdw.Present = false
-			if err := st.sup.StoreSDW(1, sdw); err != nil {
+			if err := sup.StoreSDW(1, sdw); err != nil {
 				return err
 			}
 			<-release
 			return nil
 		})
 	}()
-	waitFor(t, "mutation to open", func() bool { return st.Version() == 1 })
+	waitFor(t, "mutation to open", func() bool { return st.ShardVersion(codeShard) == 1 })
 
-	probes := oracleQueries()
+	probes, probeSegno := shardProbes()
 	ds, err := svc.Submit(context.Background(), probes)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
@@ -584,24 +676,129 @@ func TestOverlappedDecisionInterval(t *testing.T) {
 	}
 
 	for i, d := range ds {
-		if d.VersionLo != 1 || d.VersionHi != 1 {
-			t.Errorf("probe %d: version interval [%d,%d], want [1,1] (mid-mutation)",
-				i, d.VersionLo, d.VersionHi)
+		if probeSegno[i] == 1 {
+			// The shard with the held-open edit: odd interval, decision
+			// bracketed by the two states.
+			if d.VersionLo != 1 || d.VersionHi != 1 {
+				t.Errorf("probe %d: version interval [%d,%d], want [1,1] (mid-mutation)",
+					i, d.VersionLo, d.VersionHi)
+			}
+			got := stripDecision(d)
+			got.VersionLo, got.VersionHi = 0, 0
+			s0, s1 := stripDecision(states[0][i]), stripDecision(states[1][i])
+			if got != s0 && got != s1 {
+				t.Errorf("probe %d: decision %+v matches neither bracketing state\n before: %+v\n after:  %+v",
+					i, got, s0, s1)
+			}
+			continue
 		}
-		got := stripDecision(d)
-		if got != states[0][i] && got != states[1][i] {
-			t.Errorf("probe %d: decision %+v matches neither bracketing state\n before: %+v\n after:  %+v",
-				i, got, states[0][i], states[1][i])
+		// Other shards: the in-flight edit is invisible — a clean
+		// snapshot at epoch 0, equal to the as-built state.
+		if d.VersionLo != 0 || d.VersionHi != 0 {
+			t.Errorf("probe %d (shard %d): version interval [%d,%d], want [0,0]",
+				i, d.Shard, d.VersionLo, d.VersionHi)
+		}
+		if got, want := stripDecision(d), stripDecision(states[0][i]); got != want {
+			t.Errorf("probe %d: decision %+v, want as-built state %+v", i, got, want)
 		}
 	}
 	// The probe set must discriminate the two states, or the check above
 	// is vacuous.
 	differs := false
 	for i := range probes {
-		differs = differs || states[0][i] != states[1][i]
+		differs = differs || stripDecision(states[0][i]) != stripDecision(states[1][i])
 	}
 	if !differs {
 		t.Error("probe set cannot distinguish the bracketed states")
+	}
+}
+
+// TestSubmitIntoZeroAlloc is the hot-path allocation budget: one
+// warm-pool SubmitInto round trip — queue, decide, reply — performs
+// zero heap allocations, on the submitter and worker side combined.
+// CI runs this as its allocation-regression gate.
+func TestSubmitIntoZeroAlloc(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	ctx := context.Background()
+	queries := []Query{{Op: OpAccess, Ring: 4, Segment: "data", Wordno: 5, Kind: core.AccessRead}}
+	dst := make([]Decision, len(queries))
+	for i := 0; i < 8; i++ { // warm the descriptor pool and the SDW cache
+		if err := svc.SubmitInto(ctx, queries, dst); err != nil {
+			t.Fatalf("warm-up SubmitInto: %v", err)
+		}
+	}
+	if !dst[0].Allowed || dst[0].Shard != 0 {
+		t.Fatalf("warm-up decision wrong: %+v", dst[0])
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := svc.SubmitInto(ctx, queries, dst); err != nil {
+			t.Fatalf("SubmitInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SubmitInto allocates %.2f objects per batch; the decision hot path budget is 0", allocs)
+	}
+	// A denial must stay allocation-free too (the violation string is
+	// interned, not formatted).
+	denied := []Query{{Op: OpAccess, Ring: 7, Segment: "secret", Kind: core.AccessRead}}
+	for i := 0; i < 8; i++ {
+		if err := svc.SubmitInto(ctx, denied, dst); err != nil {
+			t.Fatalf("warm-up SubmitInto: %v", err)
+		}
+	}
+	if dst[0].Allowed || dst[0].ViolationKind != core.ViolationReadBracket {
+		t.Fatalf("warm-up denial wrong: %+v", dst[0])
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := svc.SubmitInto(ctx, denied, dst); err != nil {
+			t.Fatalf("SubmitInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("denied SubmitInto allocates %.2f objects per batch; budget is 0", allocs)
+	}
+}
+
+// TestSubmitIntoShortDst checks the destination-length guard.
+func TestSubmitIntoShortDst(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	queries := make([]Query, 2)
+	for i := range queries {
+		queries[i] = Query{Op: OpAccess, Ring: 3, Segment: "data", Kind: core.AccessRead}
+	}
+	if err := svc.SubmitInto(context.Background(), queries, make([]Decision, 1)); err == nil {
+		t.Fatal("SubmitInto with short dst: want error, got nil")
+	}
+}
+
+// TestStoreShardConfig checks shard-count validation and defaulting.
+func TestStoreShardConfig(t *testing.T) {
+	for _, bad := range []StoreConfig{
+		{Shards: 3},
+		{Shards: -1},
+		{Shards: MaxShards * 2},
+		{ShardsSet: true},
+	} {
+		if _, err := NewStore(bad, testSegments()); err == nil {
+			t.Errorf("NewStore(Shards=%d, set=%v): want error, got nil", bad.Shards, bad.ShardsSet)
+		}
+	}
+	st, err := NewStore(StoreConfig{}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if st.Shards() != 8 {
+		t.Errorf("default Shards() = %d, want 8", st.Shards())
+	}
+	if got := st.ShardOf(11); got != 3 {
+		t.Errorf("ShardOf(11) = %d, want 3", got)
+	}
+	one, err := NewStore(StoreConfig{Shards: 1}, testSegments())
+	if err != nil {
+		t.Fatalf("NewStore(Shards=1): %v", err)
+	}
+	if one.Shards() != 1 || one.ShardOf(11) != 0 {
+		t.Errorf("single-shard store: Shards()=%d ShardOf(11)=%d", one.Shards(), one.ShardOf(11))
 	}
 }
 

@@ -10,9 +10,9 @@
 // server around it:
 //
 //   - a Store holds one machine image: word-atomic shared core, the
-//     descriptor segment, and a supervisor MMU through which every
-//     run-time descriptor edit flows (StoreSDW, so the coherence Group
-//     keeps every worker's associative memory honest);
+//     descriptor segment, and a set of supervisor MMUs through which
+//     every run-time descriptor edit flows (StoreSDW, so the coherence
+//     Group keeps every worker's associative memory honest);
 //   - a Service runs a pool of workers, each a goroutine owning its own
 //     MMU and SDW associative memory — exactly the paper's
 //     several-processors-sharing-core configuration — consuming batches
@@ -25,13 +25,22 @@
 // Queries and mutations race by design, as they do on the real machine:
 // a processor referencing a segment while ring-0 software edits its
 // descriptor sees either the old or the new word of the descriptor
-// segment (core is word-atomic; SDWs are word pairs). The Store
-// brackets every mutation with an epoch counter — odd while an edit is
-// in flight, even when quiescent — and each Decision reports the epoch
-// interval it was evaluated under. A decision whose interval is a
-// single even epoch is a clean snapshot of the descriptor state at that
-// version; the T12 experiment uses this to cross-check every concurrent
-// decision against a single-threaded oracle replay.
+// segment (core is word-atomic; SDWs are word pairs).
+//
+// The descriptor store is sharded by segment number: shard i owns the
+// descriptors whose segno & (Shards-1) == i, with its own mutation
+// mutex, its own supervisor MMU, and its own epoch counter — odd while
+// an edit of one of its descriptors is in flight, even when quiescent.
+// Mutations of descriptors in different shards proceed concurrently;
+// the shootdown protocol is per-segment, so cross-shard edits need no
+// ordering between them (an operation that ever needs to quiesce the
+// whole store must take the shard locks in ascending index order).
+//
+// Each Decision reports the epoch interval of the shard it consulted. A
+// decision whose interval is a single even epoch is a clean snapshot of
+// that shard's descriptor state at that version; the T12 experiment and
+// the sharded differential test use this to cross-check every
+// concurrent decision against a single-threaded oracle replay.
 package service
 
 import (
@@ -67,27 +76,50 @@ type StoreConfig struct {
 	MemWords int
 	// MaxSegments bounds the descriptor segment; default 256.
 	MaxSegments int
+	// Shards is the number of descriptor-store shards (a power of two,
+	// at most 64); default 8. Each shard serializes mutations of its own
+	// descriptors under its own lock and epoch, so decision workers and
+	// supervisor edits touching different shards never contend.
+	Shards int
+	// ShardsSet forces Shards to be honoured even when zero (invalid —
+	// used by tests exercising the config check).
+	ShardsSet bool
+}
+
+// MaxShards bounds StoreConfig.Shards. Shard sets consulted by one
+// decision are tracked in a 64-bit mask, and more shards than cores buy
+// nothing: the lock an edit takes protects one segment's descriptor,
+// not a hot global structure.
+const MaxShards = 64
+
+// shard is one slice of the descriptor store: the descriptors with
+// segno ≡ index (mod Shards), their mutation lock, their supervisor MMU
+// (cache off — ring-0 software reads descriptors through core, and an
+// uncached unit can never itself go stale), and their epoch.
+type shard struct {
+	// epoch is odd while a mutation of this shard's descriptors is in
+	// flight, even when quiescent; epoch/2 counts completed mutations.
+	// It sits first, padded to a cache line, because decision workers
+	// load it twice per decision while mutators write it.
+	epoch atomic.Uint64
+	_     [56]byte // keep the shards' epochs on distinct cache lines
+
+	mu  sync.Mutex
+	sup *mmu.MMU
 }
 
 // Store is the shared descriptor state of a decision service: the
 // word-atomic core holding the descriptor segment and segment bodies,
-// the coherence group every worker MMU joins, and the supervisor MMU
-// through which all mutations flow.
+// the coherence group every worker MMU joins, and the sharded
+// supervisor units through which all mutations flow.
 type Store struct {
 	mem   *mem.Atomic
 	alloc *mem.Allocator
 	dbr   seg.DBR
 	group *mmu.Group
 
-	// mu serializes mutations; sup is the supervisor's MMU (cache off —
-	// ring-0 software reads descriptors through core, and an uncached
-	// unit can never itself go stale).
-	mu  sync.Mutex
-	sup *mmu.MMU
-
-	// epoch is odd while a mutation is in flight, even when quiescent;
-	// epoch/2 counts completed mutations.
-	epoch atomic.Uint64
+	shards    []shard
+	shardMask uint32
 
 	names  map[string]uint32
 	segnos []string
@@ -102,20 +134,31 @@ func NewStore(cfg StoreConfig, defs []Segment) (*Store, error) {
 	if cfg.MaxSegments == 0 {
 		cfg.MaxSegments = 256
 	}
+	if cfg.Shards == 0 && !cfg.ShardsSet {
+		cfg.Shards = 8
+	}
+	if cfg.Shards <= 0 || cfg.Shards > MaxShards || cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("service: shard count %d is not a power of two in [1,%d]", cfg.Shards, MaxShards)
+	}
 	if len(defs) > cfg.MaxSegments {
 		return nil, fmt.Errorf("service: %d segments exceed MaxSegments %d", len(defs), cfg.MaxSegments)
 	}
 	m := mem.NewAtomic(cfg.MemWords)
 	st := &Store{
-		mem:   m,
-		alloc: mem.NewAllocator(cfg.MemWords, 2*cfg.MaxSegments),
-		dbr:   seg.DBR{Addr: 0, Bound: uint32(cfg.MaxSegments)},
-		group: mmu.NewGroup(),
-		names: make(map[string]uint32, len(defs)),
+		mem:       m,
+		alloc:     mem.NewAllocator(cfg.MemWords, 2*cfg.MaxSegments),
+		dbr:       seg.DBR{Addr: 0, Bound: uint32(cfg.MaxSegments)},
+		group:     mmu.NewGroup(),
+		shards:    make([]shard, cfg.Shards),
+		shardMask: uint32(cfg.Shards - 1),
+		names:     make(map[string]uint32, len(defs)),
 	}
-	st.sup = mmu.New(m, mmu.Options{Validate: true})
-	st.sup.SetDBR(st.dbr)
-	st.group.Join(st.sup)
+	for i := range st.shards {
+		sup := mmu.New(m, mmu.Options{Validate: true})
+		sup.SetDBR(st.dbr)
+		st.group.Join(sup)
+		st.shards[i].sup = sup
+	}
 
 	for i, def := range defs {
 		if def.Name == "" {
@@ -146,7 +189,7 @@ func NewStore(cfg StoreConfig, defs []Segment) (*Store, error) {
 			Read: def.Read, Write: def.Write, Execute: def.Execute,
 			Brackets: def.Brackets, Gate: def.Gates,
 		}
-		if err := st.sup.StoreSDW(uint32(i), sdw); err != nil {
+		if err := st.shardFor(uint32(i)).sup.StoreSDW(uint32(i), sdw); err != nil {
 			return nil, fmt.Errorf("service: segment %q: %w", def.Name, err)
 		}
 		st.names[def.Name] = uint32(i)
@@ -180,28 +223,54 @@ func (st *Store) Segments() []string { return st.segnos }
 // MaxSegments returns the descriptor-segment bound.
 func (st *Store) MaxSegments() uint32 { return st.dbr.Bound }
 
-// Version returns the mutation epoch: odd while a descriptor edit is in
-// flight, even when quiescent. Version/2 is the number of completed
-// mutations.
-func (st *Store) Version() uint64 { return st.epoch.Load() }
+// Shards returns the shard count.
+func (st *Store) Shards() int { return len(st.shards) }
 
-// mutate brackets a descriptor edit with the epoch counter. Posting the
-// shootdown (inside StoreSDW) happens before the closing bump, so a
-// worker that observes the even epoch also observes the pending
-// invalidation on its next SDW fetch.
-func (st *Store) mutate(f func() error) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.epoch.Add(1)
-	err := f()
-	st.epoch.Add(1)
+// ShardOf returns the index of the shard owning segno's descriptor.
+func (st *Store) ShardOf(segno uint32) int { return int(segno & st.shardMask) }
+
+// shardFor returns the shard owning segno's descriptor.
+func (st *Store) shardFor(segno uint32) *shard { return &st.shards[segno&st.shardMask] }
+
+// ShardVersion returns shard i's mutation epoch: odd while an edit of
+// one of its descriptors is in flight, even when quiescent.
+// ShardVersion(i)/2 is the number of completed mutations in shard i.
+func (st *Store) ShardVersion(i int) uint64 { return st.shards[i].epoch.Load() }
+
+// Version returns the store-wide mutation activity counter: the sum of
+// the shard epochs. It is monotonic, equals twice the number of
+// completed mutations when the store is quiescent, and is odd exactly
+// when an odd number of edits are in flight. Per-shard clean-snapshot
+// reasoning uses ShardVersion instead.
+func (st *Store) Version() uint64 {
+	var sum uint64
+	for i := range st.shards {
+		sum += st.shards[i].epoch.Load()
+	}
+	return sum
+}
+
+// mutate brackets a descriptor edit with the owning shard's epoch
+// counter. Posting the shootdown (inside StoreSDW) happens before the
+// closing bump, so a worker that observes the even epoch also observes
+// the pending invalidation on its next SDW fetch.
+func (st *Store) mutate(segno uint32, f func(sup *mmu.MMU) error) error {
+	sh := st.shardFor(segno)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.epoch.Add(1)
+	err := f(sh.sup)
+	sh.epoch.Add(1)
 	return err
 }
 
-// SDW fetches the current descriptor of segno through the supervisor's
-// (uncached) unit.
+// SDW fetches the current descriptor of segno through its shard's
+// (uncached) supervisor unit, serialized against that shard's edits.
 func (st *Store) SDW(segno uint32) (seg.SDW, error) {
-	return st.sup.FetchSDW(segno)
+	sh := st.shardFor(segno)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sup.FetchSDW(segno)
 }
 
 // SetBrackets replaces the flags, brackets and gate count of segno,
@@ -209,8 +278,8 @@ func (st *Store) SDW(segno uint32) (seg.SDW, error) {
 // through StoreSDW, so every worker's associative memory sees it before
 // its next fetch of that descriptor.
 func (st *Store) SetBrackets(segno uint32, read, write, execute bool, b core.Brackets, gates uint32) error {
-	return st.mutate(func() error {
-		sdw, err := st.sup.FetchSDW(segno)
+	return st.mutate(segno, func(sup *mmu.MMU) error {
+		sdw, err := sup.FetchSDW(segno)
 		if err != nil {
 			return err
 		}
@@ -220,7 +289,7 @@ func (st *Store) SetBrackets(segno uint32, read, write, execute bool, b core.Bra
 		sdw.Read, sdw.Write, sdw.Execute = read, write, execute
 		sdw.Brackets = b
 		sdw.Gate = gates
-		return st.sup.StoreSDW(segno, sdw)
+		return sup.StoreSDW(segno, sdw)
 	})
 }
 
@@ -230,24 +299,24 @@ func (st *Store) SetBrackets(segno uint32, read, write, execute bool, b core.Bra
 // atomic core write and concurrent readers see exactly the old or the
 // new descriptor.
 func (st *Store) Revoke(segno uint32) error {
-	return st.mutate(func() error {
-		sdw, err := st.sup.FetchSDW(segno)
+	return st.mutate(segno, func(sup *mmu.MMU) error {
+		sdw, err := sup.FetchSDW(segno)
 		if err != nil {
 			return err
 		}
 		sdw.Present = false
-		return st.sup.StoreSDW(segno, sdw)
+		return sup.StoreSDW(segno, sdw)
 	})
 }
 
 // Restore re-sets the present flag of a revoked segment.
 func (st *Store) Restore(segno uint32) error {
-	return st.mutate(func() error {
-		sdw, err := st.sup.FetchSDW(segno)
+	return st.mutate(segno, func(sup *mmu.MMU) error {
+		sdw, err := sup.FetchSDW(segno)
 		if err != nil {
 			return err
 		}
 		sdw.Present = true
-		return st.sup.StoreSDW(segno, sdw)
+		return sup.StoreSDW(segno, sdw)
 	})
 }

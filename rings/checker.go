@@ -40,6 +40,17 @@ const (
 	AccessExecute = core.AccessExecute
 )
 
+// Checker errors, re-exported from the decision service.
+var (
+	// ErrQueueFull reports that the bounded decision queue was at
+	// capacity — shed or retry.
+	ErrQueueFull = service.ErrQueueFull
+	// ErrClosed reports a Check after Close.
+	ErrClosed = service.ErrClosed
+	// ErrBatchTooLarge reports a batch beyond the configured limit.
+	ErrBatchTooLarge = service.ErrBatchTooLarge
+)
+
 // Checker answers protection queries against a descriptor image
 // without running any simulated program: the paper's validation
 // hardware packaged as a policy-decision point. It wraps the decision
@@ -59,15 +70,52 @@ type Checker struct {
 	svc   *service.Service
 }
 
+// CheckerConfig sizes a Checker built with NewCheckerWith. The zero
+// value matches NewChecker: one worker, default queue, cache and shard
+// counts.
+type CheckerConfig struct {
+	// Workers is the decision worker-pool size; default 1. With more
+	// than one worker, decisions in one batch still see a coherent
+	// store, but ordering between batches and mutations is up to the
+	// scheduler (each Decision reports its shard epoch interval).
+	Workers int
+	// QueueDepth bounds the batch queue; a full queue makes Check fail
+	// fast with service.ErrQueueFull.
+	QueueDepth int
+	// CacheSize is each worker's SDW associative memory size.
+	CacheSize int
+	// BatchLimit caps the number of queries per Check call.
+	BatchLimit int
+	// Shards is the descriptor-store shard count (a power of two);
+	// default 8.
+	Shards int
+}
+
 // NewChecker builds a descriptor image from segs (numbered in order
 // from 0) and starts a single-worker decision service over it. Close
 // the Checker when done.
 func NewChecker(segs []Segment) (*Checker, error) {
-	st, err := service.NewStore(service.StoreConfig{}, segs)
+	return NewCheckerWith(CheckerConfig{}, segs)
+}
+
+// NewCheckerWith is NewChecker with explicit sizing — worker pool,
+// queue, SDW cache and descriptor-store shards. cmd/ringload uses it to
+// drive the decision path in-process at configurable parallelism.
+func NewCheckerWith(cfg CheckerConfig, segs []Segment) (*Checker, error) {
+	st, err := service.NewStore(service.StoreConfig{Shards: cfg.Shards}, segs)
 	if err != nil {
 		return nil, err
 	}
-	svc, err := service.New(st, service.Config{Workers: 1})
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	svc, err := service.New(st, service.Config{
+		Workers:    workers,
+		QueueDepth: cfg.QueueDepth,
+		CacheSize:  cfg.CacheSize,
+		BatchLimit: cfg.BatchLimit,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +129,18 @@ func (c *Checker) Close() { c.svc.Close() }
 func (c *Checker) Check(queries ...Query) ([]Decision, error) {
 	return c.svc.Submit(context.Background(), queries)
 }
+
+// CheckInto answers a batch of queries into a caller-supplied decision
+// slice (dst[i] answers queries[i]; dst must hold at least
+// len(queries) elements). With the service's descriptor pool warm this
+// round trip performs no heap allocation — the form load generators
+// and embedders on a hot path should use.
+func (c *Checker) CheckInto(queries []Query, dst []Decision) error {
+	return c.svc.SubmitInto(context.Background(), queries, dst)
+}
+
+// Shards returns the descriptor-store shard count.
+func (c *Checker) Shards() int { return c.store.Shards() }
 
 // checkOne submits a single query.
 func (c *Checker) checkOne(q Query) (Decision, error) {

@@ -166,6 +166,40 @@ func TestCheckerMutation(t *testing.T) {
 	}
 }
 
+func TestCheckerWithConfigAndCheckInto(t *testing.T) {
+	chk, err := rings.NewCheckerWith(rings.CheckerConfig{
+		Workers: 2, QueueDepth: 8, CacheSize: 16, Shards: 4,
+	}, checkerImage())
+	if err != nil {
+		t.Fatalf("NewCheckerWith: %v", err)
+	}
+	defer chk.Close()
+	if got := chk.Shards(); got != 4 {
+		t.Errorf("Shards() = %d, want 4", got)
+	}
+
+	queries := []rings.Query{
+		{Op: rings.OpAccess, Ring: 4, Segment: "data", Kind: rings.AccessRead},
+		{Op: rings.OpAccess, Ring: 7, Segment: "secret", Kind: rings.AccessRead},
+	}
+	dst := make([]rings.Decision, len(queries))
+	for i := 0; i < 3; i++ { // reuse the same destination across calls
+		if err := chk.CheckInto(queries, dst); err != nil {
+			t.Fatalf("CheckInto: %v", err)
+		}
+		if !dst[0].Allowed || dst[1].Allowed {
+			t.Errorf("round %d: decisions %+v", i, dst)
+		}
+	}
+	if err := chk.CheckInto(queries, dst[:1]); err == nil {
+		t.Error("CheckInto with short dst: want error")
+	}
+
+	if _, err := rings.NewCheckerWith(rings.CheckerConfig{Shards: 5}, checkerImage()); err == nil {
+		t.Error("NewCheckerWith(Shards=5): want error")
+	}
+}
+
 func TestCheckerBatchAndMetrics(t *testing.T) {
 	chk, err := rings.NewChecker(checkerImage())
 	if err != nil {
