@@ -715,7 +715,7 @@ func TestTracelessStepZeroAlloc(t *testing.T) {
 // acceptance criterion — asserted by TestSubmitIntoZeroAlloc in
 // internal/service.
 func BenchmarkServiceCheckInto(b *testing.B) {
-	chk, err := rings.NewCheckerWith(rings.CheckerConfig{Workers: 1, CacheSize: 64}, []rings.Segment{
+	chk, err := rings.NewCheckerWith(rings.CheckerConfig{Workers: 1}, []rings.Segment{
 		{Name: "data", Size: 64, Read: true, Write: true,
 			Brackets: core.Brackets{R1: 2, R2: 4, R3: 4}},
 		{Name: "code", Size: 64, Read: true, Execute: true,

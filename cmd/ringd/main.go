@@ -1,12 +1,13 @@
 // Command ringd is the protection-decision daemon: it loads a machine
 // image (descriptor segment plus segment bodies), starts a pool of
-// decision workers — each a simulated processor with its own MMU and
-// SDW associative memory, kept coherent through the shootdown group —
-// and answers batched protection queries over HTTP/JSON.
+// decision workers — each an MMU reading immutable RCU descriptor
+// snapshots pinned per batch, so decisions never lock against
+// supervisor edits — and answers batched protection queries over
+// HTTP/JSON.
 //
 // Usage:
 //
-//	ringd [-addr :8642] [-workers 4] [-cache 64] [-queue 64]
+//	ringd [-addr :8642] [-workers 4] [-queue 64]
 //	      [-batch 1024] [-shards 8] [-image image.json]
 //
 // Endpoints:
@@ -14,7 +15,8 @@
 //	POST /v1/check   batch of access/call/return/effring queries
 //	POST /v1/mutate  supervisor edits: setbrackets, revoke, restore
 //	GET  /healthz    liveness and image shape
-//	GET  /metrics    decisions, faults by kind, cache and latency counters
+//	GET  /metrics    decisions, faults by kind, snapshot-read and
+//	                 latency counters
 //
 // The image file is a JSON object {"segments": [...]}, each segment
 // carrying a name, size, access flags, ring brackets and gate count;
@@ -123,8 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8642", "listen address")
-	workers := fs.Int("workers", 4, "decision workers, one simulated processor each")
-	cache := fs.Int("cache", 64, "per-worker SDW cache size (power of two; 0 disables)")
+	workers := fs.Int("workers", 4, "decision workers, one snapshot-reading MMU each")
 	queue := fs.Int("queue", 64, "bounded batch-queue depth (full queue answers 429)")
 	batchLimit := fs.Int("batch", 1024, "maximum queries per batch")
 	shards := fs.Int("shards", 0, "descriptor-store shards (power of two; 0 = default 8)")
@@ -146,8 +147,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	svc, err := service.New(st, service.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
-		CacheSize:  *cache,
-		CacheSet:   true,
 		BatchLimit: *batchLimit,
 	})
 	if err != nil {
@@ -166,8 +165,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	fmt.Fprintf(stdout, "ringd: serving %d segments on %s (%d workers, cache %d, queue %d, %d shards)\n",
-		len(defs), ln.Addr(), svc.Workers(), *cache, svc.QueueDepth(), st.Shards())
+	fmt.Fprintf(stdout, "ringd: serving %d segments on %s (%d workers, queue %d, %d shards)\n",
+		len(defs), ln.Addr(), svc.Workers(), svc.QueueDepth(), st.Shards())
 	if testHookReady != nil {
 		testHookReady <- ln.Addr().String()
 	}

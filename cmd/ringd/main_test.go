@@ -97,13 +97,13 @@ func TestRunBadImage(t *testing.T) {
 	}
 }
 
-func TestRunBadCacheSize(t *testing.T) {
+func TestRunBadShardCount(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-cache", "12"}, &out, &errOut); code != 1 {
-		t.Errorf("bad cache size: exit %d, want 1", code)
+	if code := run([]string{"-shards", "12"}, &out, &errOut); code != 1 {
+		t.Errorf("bad shard count: exit %d, want 1", code)
 	}
 	if !strings.Contains(errOut.String(), "12") {
-		t.Errorf("stderr %q does not name the offending size", errOut.String())
+		t.Errorf("stderr %q does not name the offending count", errOut.String())
 	}
 }
 
@@ -119,7 +119,7 @@ func TestRunServeAndShutdown(t *testing.T) {
 	var out, errOut bytes.Buffer
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-cache", "16"}, &out, &errOut)
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out, &errOut)
 	}()
 	var addr string
 	select {

@@ -9,9 +9,9 @@
 //
 //	ringload [-c 4] [-duration 2s] [-batch 64]
 //	         [-mix access=8,call=1,return=1,effring=1]
-//	         [-workers 4] [-shards 0] [-cache 64] [-queue 0]
+//	         [-workers 4] [-shards 0] [-queue 0]
 //	         [-mutators 1] [-seed 1] [-sweep 1,2,4,8]
-//	         [-target http://host:8642] [-json]
+//	         [-sweep-workers 1,2,4] [-target http://host:8642] [-json]
 //
 // Each of the -c clients owns one pre-generated query batch pool and
 // one reusable decision buffer, and loops: submit, record the batch
@@ -19,9 +19,11 @@
 // capacity. In-process mode drives Checker.CheckInto (the
 // zero-allocation path); -target mode POSTs the same batches to
 // ringd's /v1/check. -mutators adds supervisor goroutines streaming
-// SetBrackets edits through the coherent descriptor path while
-// decisions run (in-process only), and -sweep repeats the whole run
-// across several descriptor-store shard counts to measure scaling.
+// SetBrackets edits through the store's snapshot-publish path while
+// decisions run (in-process only). -sweep repeats the whole run across
+// several descriptor-store shard counts and -sweep-workers across
+// several worker-pool sizes; given both, the cross product is swept
+// (the T14 scaling grid).
 //
 // With -json, results are emitted as a JSON array in the same shape as
 // ringbench -json (id, title, host_ns, metrics, lines), so the two
@@ -53,19 +55,19 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 // config is the parsed flag set.
 type config struct {
-	clients  int
-	duration time.Duration
-	batch    int
-	mix      mix
-	workers  int
-	shards   int
-	cache    int
-	queue    int
-	mutators int
-	seed     int64
-	sweep    []int
-	target   string
-	jsonOut  bool
+	clients      int
+	duration     time.Duration
+	batch        int
+	mix          mix
+	workers      int
+	shards       int
+	queue        int
+	mutators     int
+	seed         int64
+	sweep        []int
+	sweepWorkers []int
+	target       string
+	jsonOut      bool
 }
 
 // mix is the query mix as integer weights.
@@ -491,8 +493,13 @@ type jsonResult struct {
 
 func report(cfg config, res *result, mode string) jsonResult {
 	id := "RINGLOAD"
-	if len(cfg.sweep) > 0 {
+	switch {
+	case len(cfg.sweep) > 0 && len(cfg.sweepWorkers) > 0:
+		id = fmt.Sprintf("RINGLOAD-S%d-W%d", res.shards, cfg.workers)
+	case len(cfg.sweep) > 0:
 		id = fmt.Sprintf("RINGLOAD-S%d", res.shards)
+	case len(cfg.sweepWorkers) > 0:
+		id = fmt.Sprintf("RINGLOAD-W%d", cfg.workers)
 	}
 	lines := []string{
 		fmt.Sprintf("mode %s, %d clients x batch %d, %v", mode, cfg.clients, cfg.batch, cfg.duration),
@@ -535,7 +542,6 @@ func trialInProcess(cfg config, shards int) (*result, error) {
 	chk, err := rings.NewCheckerWith(rings.CheckerConfig{
 		Workers:    cfg.workers,
 		QueueDepth: cfg.queue,
-		CacheSize:  cfg.cache,
 		Shards:     shards,
 	}, loadImage())
 	if err != nil {
@@ -557,11 +563,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mixFlag := fs.String("mix", "access=8,call=1,return=1,effring=1", "query mix weights")
 	workers := fs.Int("workers", 4, "decision workers (in-process mode)")
 	shards := fs.Int("shards", 0, "descriptor-store shards (in-process; 0 = default)")
-	cache := fs.Int("cache", 64, "per-worker SDW cache size (in-process)")
 	queue := fs.Int("queue", 0, "batch-queue depth (in-process; 0 = default)")
 	mutators := fs.Int("mutators", 1, "concurrent supervisor-edit goroutines (in-process)")
 	seed := fs.Int64("seed", 1, "query-generation seed")
 	sweepFlag := fs.String("sweep", "", "comma-separated shard counts to sweep (in-process)")
+	sweepWorkersFlag := fs.String("sweep-workers", "", "comma-separated worker counts to sweep (in-process; with -sweep, the cross product)")
 	target := fs.String("target", "", "ringd base URL; empty runs in-process")
 	jsonOut := fs.Bool("json", false, "emit results as a ringbench-compatible JSON array")
 	if err := fs.Parse(args); err != nil {
@@ -577,15 +583,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringload:", err)
 		return 1
 	}
+	sweepWorkers, err := parseSweep(*sweepWorkersFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringload:", err)
+		return 1
+	}
 	if *clients <= 0 || *batch <= 0 || *duration <= 0 {
 		fmt.Fprintln(stderr, "ringload: -c, -batch and -duration must be positive")
 		return 1
 	}
 	cfg := config{
 		clients: *clients, duration: *duration, batch: *batch, mix: m,
-		workers: *workers, shards: *shards, cache: *cache, queue: *queue,
-		mutators: *mutators, seed: *seed, sweep: sweep, target: *target,
-		jsonOut: *jsonOut,
+		workers: *workers, shards: *shards, queue: *queue,
+		mutators: *mutators, seed: *seed, sweep: sweep, sweepWorkers: sweepWorkers,
+		target: *target, jsonOut: *jsonOut,
 	}
 
 	var results []jsonResult
@@ -605,16 +616,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		results = append(results, report(cfg, res, "http"))
-	case len(cfg.sweep) > 0:
-		counts := append([]int(nil), cfg.sweep...)
-		sort.Ints(counts)
-		for _, n := range counts {
-			res, err := trialInProcess(cfg, n)
-			if err != nil {
-				fmt.Fprintln(stderr, "ringload:", err)
-				return 1
+	case len(cfg.sweep) > 0 || len(cfg.sweepWorkers) > 0:
+		// Sweep the worker × shard grid in ascending order; a missing
+		// axis holds the flag (or default) value fixed.
+		shardCounts := append([]int(nil), cfg.sweep...)
+		if len(shardCounts) == 0 {
+			shardCounts = []int{cfg.shards}
+		}
+		workerCounts := append([]int(nil), cfg.sweepWorkers...)
+		if len(workerCounts) == 0 {
+			workerCounts = []int{cfg.workers}
+		}
+		sort.Ints(shardCounts)
+		sort.Ints(workerCounts)
+		for _, w := range workerCounts {
+			for _, n := range shardCounts {
+				cfg.workers = w
+				res, err := trialInProcess(cfg, n)
+				if err != nil {
+					fmt.Fprintln(stderr, "ringload:", err)
+					return 1
+				}
+				results = append(results, report(cfg, res, "in-process"))
 			}
-			results = append(results, report(cfg, res, "in-process"))
 		}
 	default:
 		res, err := trialInProcess(cfg, cfg.shards)

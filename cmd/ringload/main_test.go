@@ -150,6 +150,41 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+func TestRunSweepWorkers(t *testing.T) {
+	results := runJSON(t, "-c", "2", "-batch", "8", "-duration", "100ms", "-sweep-workers", "2,1")
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].ID != "RINGLOAD-W1" || results[1].ID != "RINGLOAD-W2" {
+		t.Errorf("worker-sweep ids: %s, %s (want ascending worker order)", results[0].ID, results[1].ID)
+	}
+	if results[0].Metrics["workers"] != 1 || results[1].Metrics["workers"] != 2 {
+		t.Errorf("worker-sweep metrics: %v, %v", results[0].Metrics, results[1].Metrics)
+	}
+}
+
+// TestRunSweepGrid checks the T14 cross product: -sweep × -sweep-workers
+// runs every (workers, shards) cell, workers outermost, both ascending.
+func TestRunSweepGrid(t *testing.T) {
+	results := runJSON(t, "-c", "2", "-batch", "8", "-duration", "50ms",
+		"-sweep", "2,1", "-sweep-workers", "2,1")
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	wantIDs := []string{"RINGLOAD-S1-W1", "RINGLOAD-S2-W1", "RINGLOAD-S1-W2", "RINGLOAD-S2-W2"}
+	for i, want := range wantIDs {
+		if results[i].ID != want {
+			t.Errorf("grid cell %d: id %s, want %s", i, results[i].ID, want)
+		}
+	}
+	for i, want := range []struct{ w, s float64 }{{1, 1}, {1, 2}, {2, 1}, {2, 2}} {
+		if results[i].Metrics["workers"] != want.w || results[i].Metrics["shards"] != want.s {
+			t.Errorf("grid cell %d: workers=%v shards=%v, want %v/%v",
+				i, results[i].Metrics["workers"], results[i].Metrics["shards"], want.w, want.s)
+		}
+	}
+}
+
 func TestRunHTTPTarget(t *testing.T) {
 	st, err := service.NewStore(service.StoreConfig{}, []service.Segment{
 		{Name: "data", Size: 64, Read: true, Write: true,
@@ -192,6 +227,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-mix", "bogus"},
 		{"-sweep", "0"},
+		{"-sweep-workers", "0"},
 		{"-c", "0"},
 		{"-duration", "0s"},
 	} {

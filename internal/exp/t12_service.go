@@ -12,14 +12,15 @@ import (
 
 // T12: the protection-decision service under concurrent load. The
 // service wraps the MMU decision procedure in a pool of workers — one
-// simulated processor each, own SDW associative memory, shared
-// word-atomic core — while a supervisor thread streams descriptor
-// edits (SetBrackets, Revoke, Restore) through the coherent StoreSDW
-// path. Every decision reports the mutation-epoch interval it was
-// evaluated under; replaying the same edit script single-threaded
-// gives an oracle, and each concurrent decision must be identical to
-// the oracle's answer at some state within its interval. A decision
-// whose interval is a single even epoch must match that state exactly.
+// decision worker each, reading immutable RCU descriptor snapshots
+// pinned per batch — while a supervisor thread streams descriptor
+// edits (SetBrackets, Revoke, Restore) through the store's publish
+// path. Every decision reports the publication epoch of the snapshot
+// it consulted; replaying the same edit script single-threaded gives
+// an oracle, and each concurrent decision must be identical to the
+// oracle's answer at that epoch's state. Under snapshot reads every
+// interval is a single even epoch — a clean snapshot — so the check
+// is exact, not an interval search.
 
 // t12Segments is the image under test.
 func t12Segments() []service.Segment {
@@ -107,7 +108,7 @@ func init() {
 		if err != nil {
 			return err
 		}
-		svc, err := service.New(st, service.Config{Workers: workers, QueueDepth: 128, CacheSize: 64})
+		svc, err := service.New(st, service.Config{Workers: workers, QueueDepth: 128})
 		if err != nil {
 			return err
 		}
@@ -120,8 +121,9 @@ func init() {
 		// of the edit script. Within a round the interleaving is up to the
 		// scheduler; the round barrier guarantees that edits land between
 		// batches across the run even on a single-CPU host, so later
-		// batches must observe them (and the workers' associative memories
-		// must take the shootdowns).
+		// batches must observe them (each batch pins the then-current
+		// snapshot, so a published edit is visible to every batch that
+		// starts after it).
 		type obs struct{ ds []service.Decision }
 		results := make(chan obs, clients*rounds)
 		errs := make(chan error, clients+1)
@@ -174,7 +176,7 @@ func init() {
 		if err != nil {
 			return err
 		}
-		osvc, err := service.New(ost, service.Config{Workers: 1, CacheSize: 0, CacheSet: true})
+		osvc, err := service.New(ost, service.Config{Workers: 1})
 		if err != nil {
 			return err
 		}
@@ -227,29 +229,36 @@ func init() {
 		}
 
 		snap := svc.Snapshot()
-		if snap.Cache.Hits == 0 || snap.Cache.Misses == 0 {
-			return fmt.Errorf("/metrics reports idle caches: %+v", snap.Cache)
+		if snap.Reads.Pins == 0 || snap.Reads.Lookups == 0 {
+			return fmt.Errorf("/metrics reports idle snapshot readers: %+v", snap.Reads)
 		}
-		if snap.Cache.Shootdowns == 0 {
-			return fmt.Errorf("no shootdowns despite %d descriptor edits", mutations)
+		if snap.RCU.Publishes != mutations {
+			return fmt.Errorf("%d snapshot publishes for %d descriptor edits", snap.RCU.Publishes, mutations)
 		}
 		if len(snap.LatencyNs) == 0 {
 			return fmt.Errorf("/metrics reports an empty latency histogram")
 		}
 
-		r.addf("%d workers (one MMU + SDW associative memory each), %d clients x %d probe batches,",
+		r.addf("%d workers (one MMU reading pinned RCU snapshots each), %d clients x %d probe batches,",
 			workers, clients, rounds)
-		r.addf("%d descriptor edits streamed through StoreSDW while deciding", mutations)
+		r.addf("%d descriptor edits, each publishing a fresh shard snapshot", mutations)
 		r.addf("")
-		r.addf("decisions checked against oracle: %d (every one identical at some", checked)
-		r.addf("state within its epoch interval; %d clean snapshots, %d overlapping", clean, overlapped)
+		r.addf("decisions checked against oracle: %d (every one identical at the", checked)
+		r.addf("oracle state of its pinned snapshot; %d clean snapshots, %d overlapping", clean, overlapped)
 		r.addf("an edit, %d batches shed by backpressure)", shedCount.Load())
 		r.addf("")
-		r.addf("per-worker SDW associative memories:")
-		r.addf("%-8s %10s %10s %8s %12s", "worker", "hits", "misses", "hit%", "shootdowns")
-		for i, c := range snap.PerWorkerCache {
-			r.addf("%-8d %10d %10d %7.1f%% %12d", i, c.Hits, c.Misses, 100*c.HitRate, c.Shootdowns)
+		r.addf("per-worker snapshot readers (pins amortize lookups, like cache hits):")
+		r.addf("%-8s %10s %10s %14s", "worker", "pins", "lookups", "lookups/pin")
+		for i, c := range snap.PerWorkerReads {
+			perPin := float64(c.Lookups)
+			if c.Pins > 0 {
+				perPin /= float64(c.Pins)
+			}
+			r.addf("%-8d %10d %10d %14.1f", i, c.Pins, c.Lookups, perPin)
 		}
+		r.addf("")
+		r.addf("store RCU: %d publishes, %d buffers reused, %d recycled, %d dropped",
+			snap.RCU.Publishes, snap.RCU.Reused, snap.RCU.Recycled, snap.RCU.Dropped)
 		r.addf("")
 		r.addf("decision mix: %d allowed, %d denied, %d trapped; faults by kind:",
 			snap.Allowed, snap.Denied, snap.Trapped)
@@ -259,19 +268,20 @@ func init() {
 		r.addf("")
 		r.addf("batch latency histogram: %d non-empty power-of-two buckets", len(snap.LatencyNs))
 		r.addf("")
-		r.addf("the associative memories stay coherent under concurrent descriptor")
-		r.addf("edits: shootdowns invalidate before the closing epoch bump, so a")
-		r.addf("clean-snapshot decision is bit-identical to the sequential oracle")
+		r.addf("snapshot publication keeps readers coherent without locks: a worker")
+		r.addf("pins one immutable snapshot per batch, so every decision is")
+		r.addf("bit-identical to the sequential oracle at that snapshot's epoch")
 
 		r.metric("workers", workers)
 		r.metric("decisions", float64(checked))
 		r.metric("oracle_states", float64(mutations+1))
 		r.metric("clean_fraction", float64(clean)/float64(checked))
 		r.metric("shed_batches", float64(shedCount.Load()))
-		if total := snap.Cache.Hits + snap.Cache.Misses; total > 0 {
-			r.metric("cache_hit_rate", float64(snap.Cache.Hits)/float64(total))
+		if snap.Reads.Pins > 0 {
+			r.metric("lookups_per_pin", float64(snap.Reads.Lookups)/float64(snap.Reads.Pins))
 		}
-		r.metric("shootdowns", float64(snap.Cache.Shootdowns))
+		r.metric("snapshot_publishes", float64(snap.RCU.Publishes))
+		r.metric("buffers_reused", float64(snap.RCU.Reused))
 		r.metric("latency_buckets", float64(len(snap.LatencyNs)))
 		return nil
 	})

@@ -40,6 +40,19 @@
 // With the cache disabled (the default), every fetch reads the
 // descriptor segment and no discipline is required of supervisor
 // software.
+//
+// # Read-only descriptor sources
+//
+// An MMU can instead be pointed at an SDWSource (SetSDWSource): an
+// immutable, concurrency-safe descriptor view such as an RCU snapshot
+// published by the decision service's store. In source mode FetchSDW
+// never touches core, the associative memory, or the shootdown queue —
+// the source is coherent by construction (a new snapshot is a new
+// source state, not an in-place edit), so no invalidation discipline
+// applies. This is the software analogue of the paper's observation
+// that validation is a pure function of descriptor state: the unit
+// evaluates against a fixed configuration, and configuration changes
+// arrive as whole new configurations.
 package mmu
 
 import (
@@ -127,6 +140,29 @@ type cacheEntry struct {
 	sdw   seg.SDW
 }
 
+// SDWSource is a read-only descriptor provider: an immutable (or
+// immutable-per-published-state) view of the descriptor segment that
+// the fetch path consults instead of core. Implementations must be
+// safe for use by the owning goroutine without locks and must mirror
+// the architectural absence rule of seg.Table.Fetch — segment numbers
+// at or beyond the descriptor bound return a zero (Present == false)
+// SDW and a nil error; errors are reserved for simulator integrity
+// faults.
+type SDWSource interface {
+	LookupSDW(segno uint32) (seg.SDW, error)
+}
+
+// SetSDWSource redirects descriptor retrieval to src, a read-only
+// descriptor view; nil restores descriptor-segment fetches through
+// core. While a source is installed the associative memory and the
+// shootdown queue are bypassed entirely: an immutable source cannot go
+// stale, so there is nothing to cache coherently or invalidate. The
+// MMU must be quiescent (owned, between references) when the source
+// changes.
+func (u *MMU) SetSDWSource(src SDWSource) {
+	u.source = src
+}
+
 // MMU is one processor's memory management unit. It is owned by a
 // single goroutine (its processor); the only cross-goroutine traffic is
 // the shootdown queue, which remote members post under its own lock.
@@ -142,9 +178,10 @@ type MMU struct {
 	sink   Sink
 	cycles *uint64
 
-	cache []cacheEntry
-	mask  uint32
-	stats CacheStats
+	cache  []cacheEntry
+	mask   uint32
+	stats  CacheStats
+	source SDWSource
 
 	// Shootdown plumbing (see group.go). shootGen is bumped by remote
 	// members after posting to pending; the owner compares it against
@@ -238,11 +275,18 @@ func (u *MMU) Flush() {
 // associative memory is disabled).
 func (u *MMU) CacheStats() CacheStats { return u.stats }
 
-// FetchSDW retrieves the SDW for segno through the associative memory.
-// The error return is a physical memory fault (simulator integrity
-// problem), never an access issue — absent segments come back with
-// Present false and the caller raises the architectural trap.
+// FetchSDW retrieves the SDW for segno: from the installed SDWSource
+// when one is set (see SetSDWSource), otherwise through the
+// associative memory and the descriptor segment in core. The error
+// return is a physical memory fault (simulator integrity problem),
+// never an access issue — absent segments come back with Present false
+// and the caller raises the architectural trap.
 func (u *MMU) FetchSDW(segno uint32) (seg.SDW, error) {
+	if u.source != nil {
+		// A snapshot lookup is as cheap as an associative hit: no
+		// descriptor-segment read, so no SDWMiss charge.
+		return u.source.LookupSDW(segno)
+	}
 	if len(u.cache) == 0 {
 		*u.cycles += u.opt.Costs.SDWMiss // every reference reads the descriptor segment
 		return u.Table().Fetch(segno)

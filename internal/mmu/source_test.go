@@ -1,0 +1,58 @@
+package mmu_test
+
+import (
+	"testing"
+
+	"repro/internal/seg"
+)
+
+// fixedSource is a trivial SDWSource: a fixed descriptor table with the
+// architectural absence rule (unknown segnos are zero SDWs, nil error).
+type fixedSource map[uint32]seg.SDW
+
+func (f fixedSource) LookupSDW(segno uint32) (seg.SDW, error) {
+	return f[segno], nil
+}
+
+// TestSDWSourceBypassesCore checks the SetSDWSource contract: with a
+// source installed every descriptor fetch resolves from the source —
+// not the descriptor segment in core, not the associative memory, no
+// miss-cycle charges — and a nil source restores core reads exactly
+// where they left off.
+func TestSDWSourceBypassesCore(t *testing.T) {
+	u := newUnits(t, 1)[0]
+	const segno = 5
+	if err := u.StoreSDW(segno, sdwA); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetch(t, u, segno); got != sdwA {
+		t.Fatalf("core fetch = %+v, want %+v", got, sdwA)
+	}
+
+	u.SetSDWSource(fixedSource{segno: sdwB})
+	if got := fetch(t, u, segno); got != sdwB {
+		t.Errorf("source fetch = %+v, want source's %+v", got, sdwB)
+	}
+	if got := fetch(t, u, 7); got != (seg.SDW{}) {
+		t.Errorf("absent segno through source = %+v, want zero SDW", got)
+	}
+	// Source fetches bypass the associative memory and charge no
+	// descriptor-read cycles.
+	stats, cycles := u.CacheStats(), u.Cycles()
+	for i := 0; i < 4; i++ {
+		fetch(t, u, segno)
+	}
+	if got := u.CacheStats(); got != stats {
+		t.Errorf("source fetches touched the associative memory: %+v -> %+v", stats, got)
+	}
+	if got := u.Cycles(); got != cycles {
+		t.Errorf("source fetches charged %d cycles", got-cycles)
+	}
+
+	// nil restores descriptor reads through core: the edit made beneath
+	// the source is visible again.
+	u.SetSDWSource(nil)
+	if got := fetch(t, u, segno); got != sdwA {
+		t.Errorf("core fetch after source removal = %+v, want %+v", got, sdwA)
+	}
+}

@@ -213,7 +213,7 @@ func TestHTTPMutate(t *testing.T) {
 	if !mr.OK || mr.Version != 2 {
 		t.Fatalf("mutate response %+v, want OK at version 2", mr)
 	}
-	check(false) // every worker cache must have seen the shootdown
+	check(false) // every batch after the publish pins the new snapshot
 
 	// Revoke, observe, restore, observe.
 	if resp, body = postJSON(t, ts.URL+"/v1/mutate", mutateRequest{Op: "revoke", Segment: "data"}); resp.StatusCode != http.StatusOK {
@@ -283,8 +283,8 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	if snap.Batches != 4 || snap.Queries != 8 || snap.Allowed != 4 || snap.Denied != 4 {
 		t.Errorf("metrics counts: %+v", snap)
 	}
-	if snap.Cache.Hits+snap.Cache.Misses == 0 {
-		t.Error("metrics report no cache activity")
+	if snap.Reads.Pins == 0 || snap.Reads.Lookups == 0 {
+		t.Error("metrics report no snapshot-read activity")
 	}
 	if len(snap.LatencyNs) == 0 {
 		t.Error("metrics report no latency buckets")

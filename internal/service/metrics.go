@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/mmu"
 	"repro/internal/trace"
 )
 
@@ -93,14 +92,14 @@ type LatencyBucket struct {
 	Count uint64 `json:"count"`
 }
 
-// CacheSnapshot sums the workers' SDW associative memory counters.
-type CacheSnapshot struct {
-	Hits          uint64  `json:"hits"`
-	Misses        uint64  `json:"misses"`
-	HitRate       float64 `json:"hit_rate"`
-	Invalidations uint64  `json:"invalidations"`
-	Flushes       uint64  `json:"flushes"`
-	Shootdowns    uint64  `json:"shootdowns"`
+// ReaderSnapshot reports one worker's snapshot-read counters: how
+// many times it pinned a shard snapshot (once per consulted shard per
+// batch) and how many descriptor lookups those pins served. A high
+// Lookups/Pins ratio is the snapshot-era analogue of a high cache hit
+// rate — many decisions amortized over one atomic pointer load.
+type ReaderSnapshot struct {
+	Pins    uint64 `json:"pins"`
+	Lookups uint64 `json:"lookups"`
 }
 
 // Snapshot is one /metrics observation.
@@ -120,11 +119,15 @@ type Snapshot struct {
 	Ops map[string]uint64 `json:"ops"`
 	// Faults counts denials per architectural violation kind.
 	Faults map[string]uint64 `json:"faults"`
-	// Cache sums the per-worker SDW associative memories.
-	Cache CacheSnapshot `json:"cache"`
-	// PerWorkerCache lists each worker's own counters (one simulated
-	// processor each).
-	PerWorkerCache []CacheSnapshot `json:"per_worker_cache"`
+	// RCU reports the descriptor store's snapshot-publication
+	// machinery: publishes, buffer reuse, reclamation, and current
+	// retired/free list sizes (see rcu.go).
+	RCU RCUSnapshot `json:"rcu"`
+	// Reads sums the per-worker snapshot-read counters.
+	Reads ReaderSnapshot `json:"reads"`
+	// PerWorkerReads lists each worker's own counters (one decision
+	// worker each).
+	PerWorkerReads []ReaderSnapshot `json:"per_worker_reads"`
 	// Events tallies trace events by kind across all workers, fed from
 	// the zero-alloc mmu.Sink each worker's unit records into.
 	Events map[string]uint64 `json:"events"`
@@ -139,18 +142,15 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 // records into.
 func (s *Service) Events() *trace.AtomicCounters { return s.events }
 
-// CacheStats sums the workers' published SDW cache counters.
-func (s *Service) CacheStats() mmu.CacheStats {
-	var sum mmu.CacheStats
+// ReadStats sums the workers' published snapshot-read counters.
+func (s *Service) ReadStats() ReaderSnapshot {
+	var sum ReaderSnapshot
 	for _, w := range s.workers {
 		w.statsMu.Lock()
 		st := w.published
 		w.statsMu.Unlock()
-		sum.Hits += st.Hits
-		sum.Misses += st.Misses
-		sum.Invalidations += st.Invalidations
-		sum.Flushes += st.Flushes
-		sum.Shootdowns += st.Shootdowns
+		sum.Pins += st.Pins
+		sum.Lookups += st.Lookups
 	}
 	return sum
 }
@@ -192,22 +192,14 @@ func (s *Service) Snapshot() Snapshot {
 			snap.Events[trace.Kind(k).String()] = n
 		}
 	}
+	snap.RCU = s.store.RCUStats()
 	for _, w := range s.workers {
 		w.statsMu.Lock()
 		st := w.published
 		w.statsMu.Unlock()
-		snap.Cache.Hits += st.Hits
-		snap.Cache.Misses += st.Misses
-		snap.Cache.Invalidations += st.Invalidations
-		snap.Cache.Flushes += st.Flushes
-		snap.Cache.Shootdowns += st.Shootdowns
-		snap.PerWorkerCache = append(snap.PerWorkerCache, CacheSnapshot{
-			Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate(),
-			Invalidations: st.Invalidations, Flushes: st.Flushes, Shootdowns: st.Shootdowns,
-		})
-	}
-	if total := snap.Cache.Hits + snap.Cache.Misses; total > 0 {
-		snap.Cache.HitRate = float64(snap.Cache.Hits) / float64(total)
+		snap.Reads.Pins += st.Pins
+		snap.Reads.Lookups += st.Lookups
+		snap.PerWorkerReads = append(snap.PerWorkerReads, st)
 	}
 	for i := 0; i < latencyBuckets; i++ {
 		if n := m.latency[i].Load(); n > 0 {

@@ -88,17 +88,21 @@ type Decision struct {
 	Trapped bool `json:"trapped,omitempty"`
 	// Err reports a malformed query (unknown op, unknown segment name).
 	Err string `json:"err,omitempty"`
-	// VersionLo and VersionHi bracket the mutation epoch of the
-	// descriptor-store shard the decision consulted: equal and even
-	// means a clean snapshot of that shard at that version (see the
-	// package comment).
+	// VersionLo and VersionHi report the mutation epoch of the
+	// descriptor-store shard the decision consulted. Decision workers
+	// read RCU snapshots, so both fields carry the (even) publication
+	// epoch of the pinned snapshot — a degenerate interval meaning a
+	// clean snapshot of that shard at that version (see the package
+	// comment). Single-threaded oracle replays against live core may
+	// still report a widened (or odd) interval.
 	VersionLo uint64 `json:"version_lo"`
 	VersionHi uint64 `json:"version_hi"`
 	// Shard is the shard whose epoch VersionLo/VersionHi refer to.
 	// It is -1 when no single shard was consulted: a malformed query
 	// (no versions reported) or an effring chain touching segments in
-	// several shards — the interval then brackets the store-wide
-	// Version sum instead.
+	// several shards — the interval then reports the sum of the
+	// consulted shards' pinned snapshot epochs (the store-wide Version
+	// analogue) instead.
 	Shard int `json:"shard"`
 	// Worker is the index of the worker (simulated processor) that
 	// evaluated the decision.
@@ -108,16 +112,11 @@ type Decision struct {
 // Config sizes a Service.
 type Config struct {
 	// Workers is the number of decision workers, each with its own MMU
-	// and SDW associative memory; default 4.
+	// reading the store's RCU descriptor snapshots; default 4.
 	Workers int
 	// QueueDepth bounds the batch queue; a full queue rejects Submit
 	// with ErrQueueFull (backpressure). Default 64.
 	QueueDepth int
-	// CacheSize is each worker's SDW associative memory size (power of
-	// two; 0 disables). Default 64.
-	CacheSize int
-	// CacheSet forces CacheSize to be honoured even when zero.
-	CacheSet bool
 	// Validate disables ring validation when false and ValidateSet is
 	// true (the T5 ablation, exposed for comparison runs).
 	Validate    bool
@@ -149,17 +148,20 @@ type batch struct {
 	enqueued time.Time
 }
 
-// worker is one decision worker: a goroutine owning an MMU (and so an
-// SDW associative memory) joined to the store's coherence group.
+// worker is one decision worker: a goroutine owning an MMU whose
+// descriptor fetches resolve from rd, its registered epoch-counted
+// snapshot reader. The read path takes no locks: rd pins each
+// consulted shard's snapshot once per batch (rcu.go).
 type worker struct {
 	index int
 	u     *mmu.MMU
+	rd    *reader
 
-	// statsMu guards published, the worker's cache counters copied out
-	// after every batch so /metrics can read them without racing the
-	// owner goroutine.
+	// statsMu guards published, the worker's reader counters copied
+	// out after every batch so /metrics can read them without racing
+	// the owner goroutine.
 	statsMu   sync.Mutex
-	published mmu.CacheStats
+	published ReaderSnapshot
 }
 
 // Service is the concurrent protection-decision engine: a worker pool
@@ -187,7 +189,8 @@ type Service struct {
 }
 
 // New starts a Service over st: Config.Workers goroutines, each with
-// its own MMU joined to the store's coherence group.
+// its own MMU reading the store's RCU descriptor snapshots through a
+// registered epoch-counted reader.
 func New(st *Store, cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -195,18 +198,12 @@ func New(st *Store, cfg Config) (*Service, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	if cfg.CacheSize == 0 && !cfg.CacheSet {
-		cfg.CacheSize = 64
-	}
 	if cfg.BatchLimit <= 0 {
 		cfg.BatchLimit = 1024
 	}
-	opt := mmu.Options{Validate: true, CacheSize: cfg.CacheSize}
+	opt := mmu.Options{Validate: true}
 	if cfg.ValidateSet {
 		opt.Validate = cfg.Validate
-	}
-	if err := opt.Check(); err != nil {
-		return nil, err
 	}
 	s := &Service{
 		store:   st,
@@ -218,11 +215,8 @@ func New(st *Store, cfg Config) (*Service, error) {
 	s.batchPool.New = func() any { return &batch{resp: make(chan struct{}, 1)} }
 	opt.Sink = s.events
 	for i := 0; i < cfg.Workers; i++ {
-		u, err := st.NewWorkerMMU(opt)
-		if err != nil {
-			return nil, err
-		}
-		w := &worker{index: i, u: u}
+		rd := st.newReader()
+		w := &worker{index: i, u: st.newSnapshotMMU(opt, rd), rd: rd}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
 		go s.run(w)
@@ -309,7 +303,9 @@ func (s *Service) putBatch(b *batch) {
 }
 
 // Close stops accepting work, lets the workers drain every queued
-// batch, and waits for them to exit. Safe to call more than once.
+// batch, waits for them to exit, and unregisters their snapshot
+// readers so they no longer delay store reclamation. Safe to call
+// more than once.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -321,6 +317,9 @@ func (s *Service) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	for _, w := range s.workers {
+		s.store.releaseReader(w.rd)
+	}
 }
 
 // run is one worker's loop: drain batches until the queue closes.
@@ -336,9 +335,10 @@ func (s *Service) run(w *worker) {
 		for i := range b.queries {
 			s.decide(w, &b.queries[i], &b.dst[i])
 		}
+		w.rd.unpin() // end of batch: quiesce so mutators can reclaim
 		s.metrics.observe(b)
 		w.statsMu.Lock()
-		w.published = w.u.CacheStats()
+		w.published = ReaderSnapshot{Pins: w.rd.pins, Lookups: w.rd.lookups}
 		w.statsMu.Unlock()
 		b.resp <- struct{}{}
 	}
@@ -348,17 +348,40 @@ func (s *Service) run(w *worker) {
 // allocating (for well-formed queries).
 func (s *Service) decide(w *worker, q *Query, d *Decision) {
 	*d = Decision{Worker: w.index}
-	evalQuery(s.store, w.u, q, d)
+	evalQuery(s.store, w.rd, w.u, q, d)
 	s.metrics.count(q.Op, d)
 }
 
+// intervalLo opens the epoch interval for a decision consulting shard
+// sh: the pinned snapshot's publication epoch when reading through a
+// reader (always even — a clean snapshot), the live shard epoch for
+// oracle replays with rd == nil.
+func intervalLo(st *Store, rd *reader, sh int) uint64 {
+	if rd != nil {
+		return rd.pin(sh).epoch
+	}
+	return st.ShardVersion(sh)
+}
+
+// intervalHi closes the interval opened by intervalLo: the pinned
+// snapshot cannot change within a batch, so the reader form is
+// degenerate (Hi == Lo); oracle replays re-read the live epoch.
+func intervalHi(st *Store, rd *reader, sh int, lo uint64) uint64 {
+	if rd != nil {
+		return lo
+	}
+	return st.ShardVersion(sh)
+}
+
 // evalQuery answers q into d using unit u over store st — the whole
-// decision procedure, shared by the concurrent workers and by
-// single-threaded oracle replays (T12 and the sharded differential
-// test). Malformed queries set d.Err and report no epoch interval;
-// architectural outcomes (violations, traps) are regular decisions
-// bracketed by the consulted shard's epoch.
-func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
+// decision procedure, shared by the concurrent workers (rd non-nil:
+// every descriptor fetch and epoch report resolves from rd's pinned
+// RCU snapshots) and by single-threaded oracle replays (rd nil: live
+// core reads bracketed by live epoch loads; T12 and the sharded
+// differential test). Malformed queries set d.Err and report no epoch
+// interval; architectural outcomes (violations, traps) are regular
+// decisions stamped with the consulted shard's snapshot epoch.
+func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 	d.Shard = -1
 	segno := q.Segno
 	if q.Segment != "" {
@@ -384,9 +407,9 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 		}
 		sh := st.ShardOf(segno)
 		d.Shard = sh
-		d.VersionLo = st.ShardVersion(sh)
+		d.VersionLo = intervalLo(st, rd, sh)
 		kind, err := u.Access(segno, q.Wordno, q.Ring, q.Kind)
-		d.VersionHi = st.ShardVersion(sh)
+		d.VersionHi = intervalHi(st, rd, sh, d.VersionLo)
 		if err != nil {
 			d.Err = err.Error()
 			return
@@ -404,9 +427,9 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 		}
 		sh := st.ShardOf(segno)
 		d.Shard = sh
-		d.VersionLo = st.ShardVersion(sh)
+		d.VersionLo = intervalLo(st, rd, sh)
 		dec, kind, err := u.Call(segno, q.Wordno, q.Ring, effRing, q.SameSegment)
-		d.VersionHi = st.ShardVersion(sh)
+		d.VersionHi = intervalHi(st, rd, sh, d.VersionLo)
 		if err != nil {
 			d.Err = err.Error()
 			return
@@ -431,9 +454,9 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 		}
 		sh := st.ShardOf(segno)
 		d.Shard = sh
-		d.VersionLo = st.ShardVersion(sh)
+		d.VersionLo = intervalLo(st, rd, sh)
 		dec, kind, err := u.Return(segno, q.Wordno, q.Ring, effRing)
-		d.VersionHi = st.ShardVersion(sh)
+		d.VersionHi = intervalHi(st, rd, sh, d.VersionLo)
 		if err != nil {
 			d.Err = err.Error()
 			return
@@ -451,10 +474,12 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 		// Pre-scan the chain: validate the ring fields and find which
 		// shards the indirect steps will consult, so the epoch interval
 		// can name a single shard when only one is involved. A chain
-		// spanning shards (or touching none) is bracketed by the
-		// store-wide Version sum with Shard = -1.
+		// spanning shards is stamped with the sum of the consulted
+		// shards' pinned snapshot epochs (reader) or bracketed by the
+		// store-wide Version sum (oracle replay), with Shard = -1.
 		sh := -1
 		single := true
+		var mask uint64 // consulted shard set (MaxShards ≤ 64)
 		for i := range q.Chain {
 			step := &q.Chain[i]
 			if !step.Ring.Valid() {
@@ -464,7 +489,9 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 			if step.PR {
 				continue
 			}
-			if s := st.ShardOf(step.Segno); sh == -1 {
+			s := st.ShardOf(step.Segno)
+			mask |= 1 << s
+			if sh == -1 {
 				sh = s
 			} else if sh != s {
 				single = false
@@ -472,10 +499,10 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 		}
 		if single && sh >= 0 {
 			d.Shard = sh
-			d.VersionLo = st.ShardVersion(sh)
+			d.VersionLo = intervalLo(st, rd, sh)
 		} else {
 			sh = -1
-			d.VersionLo = st.Version()
+			d.VersionLo = chainLo(st, rd, mask)
 		}
 		eff := q.Ring
 		for _, step := range q.Chain {
@@ -492,27 +519,42 @@ func evalQuery(st *Store, u *mmu.MMU, q *Query, d *Decision) {
 			// The indirect word itself is read during effective address
 			// formation, validated like any operand read (Figure 5).
 			if kind := u.AccessView(v, step.Segno, 0, eff, core.AccessRead); kind != core.ViolationNone {
-				if sh >= 0 {
-					d.VersionHi = st.ShardVersion(sh)
-				} else {
-					d.VersionHi = st.Version()
-				}
+				d.VersionHi = chainHi(st, rd, sh, mask, d.VersionLo)
 				d.setViolationKind(kind)
 				return
 			}
 			eff = core.EffectiveRingIndirect(eff, step.Ring, v.R1)
 		}
-		if sh >= 0 {
-			d.VersionHi = st.ShardVersion(sh)
-		} else {
-			d.VersionHi = st.Version()
-		}
+		d.VersionHi = chainHi(st, rd, sh, mask, d.VersionLo)
 		d.Allowed = true
 		d.NewRing = eff
 
 	default:
 		d.Err = fmt.Sprintf("unknown op %q", q.Op)
 	}
+}
+
+// chainLo opens the epoch interval for an effring chain with no
+// single shard: through a reader, the sum of the pinned snapshot
+// epochs of the consulted shards; for oracle replays or chains with no
+// indirect steps, the live store-wide Version sum.
+func chainLo(st *Store, rd *reader, mask uint64) uint64 {
+	if rd != nil && mask != 0 {
+		return rd.pinSum(mask)
+	}
+	return st.Version()
+}
+
+// chainHi closes an effring chain's interval: degenerate for pinned
+// snapshot reads, a live re-read for oracle replays.
+func chainHi(st *Store, rd *reader, sh int, mask uint64, lo uint64) uint64 {
+	if sh >= 0 {
+		return intervalHi(st, rd, sh, lo)
+	}
+	if rd != nil && mask != 0 {
+		return lo
+	}
+	return st.Version()
 }
 
 // setViolationKind fills the violation fields (allowed when kind is

@@ -454,7 +454,7 @@ func TestShardedConcurrentOracle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewStore: %v", err)
 	}
-	svc, err := New(st, Config{Workers: 4, QueueDepth: 64, CacheSize: 16})
+	svc, err := New(st, Config{Workers: 4, QueueDepth: 64})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -544,7 +544,7 @@ func TestShardedConcurrentOracle(t *testing.T) {
 					continue
 				}
 				var d Decision
-				evalQuery(ost, u, &probes[i], &d)
+				evalQuery(ost, nil, u, &probes[i], &d)
 				oracle[g][k] = append(oracle[g][k], stripDecision(d))
 			}
 		}
@@ -594,24 +594,30 @@ func TestShardedConcurrentOracle(t *testing.T) {
 		checked, clean, checked-clean, mutations+1)
 
 	snap := svc.Snapshot()
-	if snap.Cache.Hits == 0 || snap.Cache.Misses == 0 {
-		t.Errorf("cache counters not exercised: %+v", snap.Cache)
+	if snap.Reads.Pins == 0 || snap.Reads.Lookups == 0 {
+		t.Errorf("snapshot readers not exercised: %+v", snap.Reads)
 	}
-	if snap.Cache.Shootdowns == 0 {
-		t.Errorf("no shootdowns recorded despite %d mutations", 3*mutations)
+	if got := snap.RCU.Publishes; got != uint64(len(scripts))*mutations {
+		t.Errorf("snapshot publishes = %d, want %d (one per descriptor edit)",
+			got, len(scripts)*mutations)
+	}
+	// Every publish retires exactly one predecessor, which must end up
+	// recycled, dropped, or still awaiting its grace period.
+	if snap.RCU.Recycled+snap.RCU.Dropped+uint64(snap.RCU.Retired) != snap.RCU.Publishes {
+		t.Errorf("retired snapshots unaccounted for: %+v", snap.RCU)
 	}
 	if len(snap.LatencyNs) == 0 {
 		t.Error("latency histogram empty")
 	}
 }
 
-// TestOverlappedDecisionInterval pins a mutation open mid-flight and
-// checks that decisions in the mutating shard report an odd epoch and
-// match one of the two states the mutation brackets — the non-singleton
-// half of the oracle property that TestShardedConcurrentOracle rarely
-// samples — while decisions in other shards stay clean snapshots at
-// epoch 0, untouched by the in-flight edit.
-func TestOverlappedDecisionInterval(t *testing.T) {
+// TestBlockedMutationDoesNotBlockReaders parks a mutation inside its
+// critical section — shard mutex held, shard epoch odd — and checks
+// the RCU guarantee: decisions proceed without blocking, every one a
+// clean snapshot of the state before the stalled edit, in the mutating
+// shard and the others alike. After the mutation completes, a new
+// batch pins the published successor and observes the edit.
+func TestBlockedMutationDoesNotBlockReaders(t *testing.T) {
 	st, err := NewStore(StoreConfig{}, testSegments())
 	if err != nil {
 		t.Fatalf("NewStore: %v", err)
@@ -624,7 +630,7 @@ func TestOverlappedDecisionInterval(t *testing.T) {
 	codeShard := st.ShardOf(1)
 
 	// Hold one mutation open: revoke "code" (segno 1), then park inside
-	// the epoch-odd window of its shard.
+	// the epoch-odd window of its shard with the shard mutex held.
 	release := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
@@ -643,18 +649,9 @@ func TestOverlappedDecisionInterval(t *testing.T) {
 	}()
 	waitFor(t, "mutation to open", func() bool { return st.ShardVersion(codeShard) == 1 })
 
-	probes, probeSegno := shardProbes()
-	ds, err := svc.Submit(context.Background(), probes)
-	if err != nil {
-		t.Fatalf("Submit: %v", err)
-	}
-	close(release)
-	if err := <-done; err != nil {
-		t.Fatalf("held mutation: %v", err)
-	}
-
 	// Oracle states 0 (image as built) and 1 (code revoked).
 	states := make([][]Decision, 2)
+	probes, probeSegno := shardProbes()
 	for k := range states {
 		ost, err := NewStore(StoreConfig{}, testSegments())
 		if err != nil {
@@ -671,45 +668,62 @@ func TestOverlappedDecisionInterval(t *testing.T) {
 		}
 		states[k] = make([]Decision, len(probes))
 		for i := range probes {
-			evalQuery(ost, u, &probes[i], &states[k][i])
+			evalQuery(ost, nil, u, &probes[i], &states[k][i])
 		}
 	}
-
-	for i, d := range ds {
-		if probeSegno[i] == 1 {
-			// The shard with the held-open edit: odd interval, decision
-			// bracketed by the two states.
-			if d.VersionLo != 1 || d.VersionHi != 1 {
-				t.Errorf("probe %d: version interval [%d,%d], want [1,1] (mid-mutation)",
-					i, d.VersionLo, d.VersionHi)
-			}
-			got := stripDecision(d)
-			got.VersionLo, got.VersionHi = 0, 0
-			s0, s1 := stripDecision(states[0][i]), stripDecision(states[1][i])
-			if got != s0 && got != s1 {
-				t.Errorf("probe %d: decision %+v matches neither bracketing state\n before: %+v\n after:  %+v",
-					i, got, s0, s1)
-			}
-			continue
-		}
-		// Other shards: the in-flight edit is invisible — a clean
-		// snapshot at epoch 0, equal to the as-built state.
-		if d.VersionLo != 0 || d.VersionHi != 0 {
-			t.Errorf("probe %d (shard %d): version interval [%d,%d], want [0,0]",
-				i, d.Shard, d.VersionLo, d.VersionHi)
-		}
-		if got, want := stripDecision(d), stripDecision(states[0][i]); got != want {
-			t.Errorf("probe %d: decision %+v, want as-built state %+v", i, got, want)
-		}
-	}
-	// The probe set must discriminate the two states, or the check above
-	// is vacuous.
+	// The probe set must discriminate the two states, or the checks
+	// below are vacuous.
 	differs := false
 	for i := range probes {
 		differs = differs || stripDecision(states[0][i]) != stripDecision(states[1][i])
 	}
 	if !differs {
-		t.Error("probe set cannot distinguish the bracketed states")
+		t.Fatal("probe set cannot distinguish the bracketed states")
+	}
+
+	// With the mutation parked mid-critical-section, a whole batch must
+	// complete — lock-free readers never contend with the held shard
+	// mutex — and every decision is the pre-edit snapshot at epoch 0.
+	ds, err := svc.Submit(context.Background(), probes)
+	if err != nil {
+		t.Fatalf("Submit during blocked mutation: %v", err)
+	}
+	for i, d := range ds {
+		if d.VersionLo != 0 || d.VersionHi != 0 {
+			t.Errorf("probe %d (shard %d): version interval [%d,%d] during blocked mutation, want clean [0,0]",
+				i, d.Shard, d.VersionLo, d.VersionHi)
+		}
+		if got, want := stripDecision(d), stripDecision(states[0][i]); got != want {
+			t.Errorf("probe %d: decision %+v, want pre-edit state %+v", i, got, want)
+		}
+	}
+	// The stalled edit also must not block /metrics.
+	if got := svc.Snapshot().RCU.Publishes; got != 0 {
+		t.Errorf("publishes = %d during blocked mutation, want 0", got)
+	}
+
+	// Complete the mutation; the next batch pins the successor snapshot
+	// (epoch 2 in the mutated shard) and observes the revocation.
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("held mutation: %v", err)
+	}
+	ds, err = svc.Submit(context.Background(), probes)
+	if err != nil {
+		t.Fatalf("Submit after mutation: %v", err)
+	}
+	for i, d := range ds {
+		wantEpoch := uint64(0)
+		if probeSegno[i] == 1 {
+			wantEpoch = 2
+		}
+		if d.VersionLo != wantEpoch || d.VersionHi != wantEpoch {
+			t.Errorf("probe %d (shard %d): version interval [%d,%d] after mutation, want [%d,%d]",
+				i, d.Shard, d.VersionLo, d.VersionHi, wantEpoch, wantEpoch)
+		}
+		if got, want := stripDecision(d), stripDecision(states[1][i]); got != want {
+			t.Errorf("probe %d: decision %+v, want post-edit state %+v", i, got, want)
+		}
 	}
 }
 
@@ -836,11 +850,18 @@ func TestMetricsSnapshot(t *testing.T) {
 	if snap.Faults[core.ViolationReadBracket.String()] != 3 {
 		t.Errorf("faults: %v", snap.Faults)
 	}
-	if snap.Cache.Hits+snap.Cache.Misses == 0 {
-		t.Error("cache counters all zero")
+	if snap.Reads.Pins == 0 || snap.Reads.Lookups == 0 {
+		t.Errorf("snapshot-read counters not exercised: %+v", snap.Reads)
 	}
-	if len(snap.PerWorkerCache) != 2 {
-		t.Errorf("per-worker cache entries = %d, want 2", len(snap.PerWorkerCache))
+	if snap.Reads.Lookups < snap.Reads.Pins {
+		t.Errorf("lookups %d < pins %d; every pin serves at least one lookup",
+			snap.Reads.Lookups, snap.Reads.Pins)
+	}
+	if len(snap.PerWorkerReads) != 2 {
+		t.Errorf("per-worker read entries = %d, want 2", len(snap.PerWorkerReads))
+	}
+	if snap.RCU.Readers != 2 {
+		t.Errorf("registered readers = %d, want 2 (one per worker)", snap.RCU.Readers)
 	}
 	if len(snap.LatencyNs) == 0 {
 		t.Error("latency histogram empty")

@@ -11,40 +11,50 @@
 //
 //   - a Store holds one machine image: word-atomic shared core, the
 //     descriptor segment, and a set of supervisor MMUs through which
-//     every run-time descriptor edit flows (StoreSDW, so the coherence
-//     Group keeps every worker's associative memory honest);
+//     every run-time descriptor edit flows. Each shard additionally
+//     publishes its descriptors as an immutable RCU snapshot behind an
+//     atomic pointer (see rcu.go);
 //   - a Service runs a pool of workers, each a goroutine owning its own
-//     MMU and SDW associative memory — exactly the paper's
-//     several-processors-sharing-core configuration — consuming batches
-//     of queries from a bounded queue with backpressure;
+//     MMU pointed at an epoch-counted snapshot reader — the paper's
+//     several-processors-sharing-core configuration, with the
+//     descriptor state distributed as published configurations instead
+//     of coherently-cached mutable core — consuming batches of queries
+//     from a bounded queue with backpressure;
 //   - a Server speaks HTTP/JSON on top (see http.go) with /healthz and
 //     /metrics endpoints.
 //
 // # Consistency model
 //
-// Queries and mutations race by design, as they do on the real machine:
-// a processor referencing a segment while ring-0 software edits its
-// descriptor sees either the old or the new word of the descriptor
-// segment (core is word-atomic; SDWs are word pairs).
-//
 // The descriptor store is sharded by segment number: shard i owns the
 // descriptors whose segno & (Shards-1) == i, with its own mutation
-// mutex, its own supervisor MMU, and its own epoch counter — odd while
-// an edit of one of its descriptors is in flight, even when quiescent.
-// Mutations of descriptors in different shards proceed concurrently;
-// the shootdown protocol is per-segment, so cross-shard edits need no
-// ordering between them (an operation that ever needs to quiesce the
-// whole store must take the shard locks in ascending index order).
+// mutex, its own supervisor MMU, its own epoch counter — odd while an
+// edit of one of its descriptors is in flight, even when quiescent —
+// and its own published snapshot. Mutations of descriptors in
+// different shards proceed concurrently; an operation that ever needs
+// to quiesce the whole store must take the shard locks in ascending
+// index order.
 //
-// Each Decision reports the epoch interval of the shard it consulted. A
-// decision whose interval is a single even epoch is a clean snapshot of
-// that shard's descriptor state at that version; the T12 experiment and
-// the sharded differential test use this to cross-check every
-// concurrent decision against a single-threaded oracle replay.
+// Decision workers never lock: each worker pins, per batch, the
+// current snapshot of every shard it consults (one atomic pointer load
+// per shard per batch) and decides against that immutable table. A
+// blocked or slow mutation therefore never delays a decision — readers
+// keep answering from the last published snapshot. Mutators serialize
+// per shard, write core (still authoritative for the CPU-simulator
+// path), publish the successor snapshot, and reclaim old snapshot
+// buffers only after a grace period; rcu.go documents the lifecycle
+// and the reclamation rule.
+//
+// Each Decision reports the publication epoch of the snapshot it
+// consulted as a degenerate interval (VersionLo == VersionHi, even):
+// under snapshot reads every decision is a clean snapshot of the
+// consulted shard, which the T12 experiment and the sharded
+// differential test cross-check against a single-threaded oracle
+// replay.
 package service
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -95,17 +105,39 @@ const MaxShards = 64
 // shard is one slice of the descriptor store: the descriptors with
 // segno ≡ index (mod Shards), their mutation lock, their supervisor MMU
 // (cache off — ring-0 software reads descriptors through core, and an
-// uncached unit can never itself go stale), and their epoch.
+// uncached unit can never itself go stale), their epoch, and their
+// published RCU snapshot with its retired/free buffer lists (rcu.go).
 type shard struct {
 	// epoch is odd while a mutation of this shard's descriptors is in
 	// flight, even when quiescent; epoch/2 counts completed mutations.
-	// It sits first, padded to a cache line, because decision workers
-	// load it twice per decision while mutators write it.
+	// It sits first, padded to a cache line, because readers load it
+	// once per pin while mutators write it.
 	epoch atomic.Uint64
 	_     [56]byte // keep the shards' epochs on distinct cache lines
 
+	// snap is the current published snapshot; readers load it with a
+	// single atomic operation per pin and never lock. Padded so
+	// publishes do not bounce the neighbouring shard's reader lines.
+	snap atomic.Pointer[snapshot]
+	_    [56]byte
+
 	mu  sync.Mutex
 	sup *mmu.MMU
+
+	// retired holds predecessors awaiting their grace period; free
+	// holds reclaimed SDW buffers for reuse. Both under mu, both
+	// bounded (rcu.go).
+	retired []*snapshot
+	free    [][]seg.SDW
+	stats   shardRCUStats
+}
+
+// shardRCUStats mirrors the shard's snapshot bookkeeping in atomics so
+// RCUStats never takes a shard mutex (a blocked mutation must not
+// block /metrics).
+type shardRCUStats struct {
+	publishes, reused, recycled, dropped atomic.Uint64
+	retired, free                        atomic.Int64
 }
 
 // Store is the shared descriptor state of a decision service: the
@@ -120,6 +152,13 @@ type Store struct {
 
 	shards    []shard
 	shardMask uint32
+	shardBits uint32 // log2(Shards): segno >> shardBits indexes a shard's SDW table
+
+	// readers is the copy-on-write list of registered epoch-counted
+	// readers (rcu.go); readersMu serializes registration only —
+	// reclamation scans load the pointer without locking.
+	readersMu sync.Mutex
+	readers   atomic.Pointer[[]*reader]
 
 	names  map[string]uint32
 	segnos []string
@@ -151,8 +190,10 @@ func NewStore(cfg StoreConfig, defs []Segment) (*Store, error) {
 		group:     mmu.NewGroup(),
 		shards:    make([]shard, cfg.Shards),
 		shardMask: uint32(cfg.Shards - 1),
+		shardBits: uint32(bits.TrailingZeros32(uint32(cfg.Shards))),
 		names:     make(map[string]uint32, len(defs)),
 	}
+	st.readers.Store(&[]*reader{})
 	for i := range st.shards {
 		sup := mmu.New(m, mmu.Options{Validate: true})
 		sup.SetDBR(st.dbr)
@@ -195,6 +236,26 @@ func NewStore(cfg StoreConfig, defs []Segment) (*Store, error) {
 		st.names[def.Name] = uint32(i)
 		st.segnos = append(st.segnos, def.Name)
 	}
+	// Publish each shard's initial snapshot (epoch 0). Shard i's table
+	// covers segment numbers i, i+Shards, i+2*Shards, ... below the
+	// descriptor bound.
+	for i := range st.shards {
+		sh := &st.shards[i]
+		n := (int(st.dbr.Bound) + cfg.Shards - 1 - i) / cfg.Shards
+		if n < 0 {
+			n = 0
+		}
+		sdws := make([]seg.SDW, n)
+		for k := range sdws {
+			segno := uint32(i + k*cfg.Shards)
+			sdw, err := sh.sup.FetchSDW(segno)
+			if err != nil {
+				return nil, fmt.Errorf("service: snapshot of segment %d: %w", segno, err)
+			}
+			sdws[k] = sdw
+		}
+		sh.snap.Store(&snapshot{epoch: 0, sdws: sdws})
+	}
 	return st, nil
 }
 
@@ -209,6 +270,18 @@ func (st *Store) NewWorkerMMU(opt mmu.Options) (*mmu.MMU, error) {
 	u.SetDBR(st.dbr)
 	st.group.Join(u)
 	return u, nil
+}
+
+// newSnapshotMMU builds one decision worker's MMU: no associative
+// memory, no coherence-group membership — every descriptor fetch
+// resolves from rd's pinned RCU snapshots instead of core. The
+// returned unit (and rd) must be owned by a single goroutine.
+func (st *Store) newSnapshotMMU(opt mmu.Options, rd *reader) *mmu.MMU {
+	opt.CacheSize = 0
+	u := mmu.New(st.mem, opt)
+	u.SetDBR(st.dbr)
+	u.SetSDWSource(rd)
+	return u
 }
 
 // Segno resolves a segment name.
@@ -251,15 +324,23 @@ func (st *Store) Version() uint64 {
 }
 
 // mutate brackets a descriptor edit with the owning shard's epoch
-// counter. Posting the shootdown (inside StoreSDW) happens before the
-// closing bump, so a worker that observes the even epoch also observes
-// the pending invalidation on its next SDW fetch.
+// counter and publishes the successor snapshot. The edit writes core
+// through the supervisor MMU (StoreSDW — core stays authoritative for
+// the CPU-simulator path and its shootdown protocol); on success the
+// shard's RCU snapshot is rebuilt copy-on-write and published with the
+// closing (even) epoch, so decision workers pick up the edit on their
+// next batch without ever locking. A failed edit publishes nothing and
+// leaves the old snapshot current.
 func (st *Store) mutate(segno uint32, f func(sup *mmu.MMU) error) error {
-	sh := st.shardFor(segno)
+	shi := st.ShardOf(segno)
+	sh := &st.shards[shi]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.epoch.Add(1)
+	epoch := sh.epoch.Add(1) // odd: edit in flight
 	err := f(sh.sup)
+	if err == nil {
+		err = st.publishLocked(shi, segno, epoch+1)
+	}
 	sh.epoch.Add(1)
 	return err
 }

@@ -71,19 +71,19 @@ type Checker struct {
 }
 
 // CheckerConfig sizes a Checker built with NewCheckerWith. The zero
-// value matches NewChecker: one worker, default queue, cache and shard
+// value matches NewChecker: one worker, default queue and shard
 // counts.
 type CheckerConfig struct {
-	// Workers is the decision worker-pool size; default 1. With more
-	// than one worker, decisions in one batch still see a coherent
-	// store, but ordering between batches and mutations is up to the
-	// scheduler (each Decision reports its shard epoch interval).
+	// Workers is the decision worker-pool size; default 1. Workers
+	// read immutable RCU descriptor snapshots pinned per batch, so
+	// with more than one worker decisions never lock against
+	// mutations; ordering between batches and mutations is up to the
+	// scheduler (each Decision reports the publication epoch of the
+	// shard snapshot it consulted).
 	Workers int
 	// QueueDepth bounds the batch queue; a full queue makes Check fail
 	// fast with service.ErrQueueFull.
 	QueueDepth int
-	// CacheSize is each worker's SDW associative memory size.
-	CacheSize int
 	// BatchLimit caps the number of queries per Check call.
 	BatchLimit int
 	// Shards is the descriptor-store shard count (a power of two);
@@ -99,8 +99,8 @@ func NewChecker(segs []Segment) (*Checker, error) {
 }
 
 // NewCheckerWith is NewChecker with explicit sizing — worker pool,
-// queue, SDW cache and descriptor-store shards. cmd/ringload uses it to
-// drive the decision path in-process at configurable parallelism.
+// queue and descriptor-store shards. cmd/ringload uses it to drive the
+// decision path in-process at configurable parallelism.
 func NewCheckerWith(cfg CheckerConfig, segs []Segment) (*Checker, error) {
 	st, err := service.NewStore(service.StoreConfig{Shards: cfg.Shards}, segs)
 	if err != nil {
@@ -113,7 +113,6 @@ func NewCheckerWith(cfg CheckerConfig, segs []Segment) (*Checker, error) {
 	svc, err := service.New(st, service.Config{
 		Workers:    workers,
 		QueueDepth: cfg.QueueDepth,
-		CacheSize:  cfg.CacheSize,
 		BatchLimit: cfg.BatchLimit,
 	})
 	if err != nil {
@@ -212,7 +211,7 @@ func (c *Checker) Restore(segment string) error {
 }
 
 // Metrics returns the decision counters (decisions, faults by kind,
-// cache and latency histograms).
+// snapshot-read and latency histograms).
 func (c *Checker) Metrics() service.Snapshot { return c.svc.Snapshot() }
 
 func unknownSegment(name string) error {

@@ -168,7 +168,7 @@ func TestCheckerMutation(t *testing.T) {
 
 func TestCheckerWithConfigAndCheckInto(t *testing.T) {
 	chk, err := rings.NewCheckerWith(rings.CheckerConfig{
-		Workers: 2, QueueDepth: 8, CacheSize: 16, Shards: 4,
+		Workers: 2, QueueDepth: 8, Shards: 4,
 	}, checkerImage())
 	if err != nil {
 		t.Fatalf("NewCheckerWith: %v", err)
