@@ -1,33 +1,47 @@
-// Command ringd is the protection-decision daemon: it loads a machine
-// image (descriptor segment plus segment bodies), starts a pool of
-// decision workers — each an MMU reading immutable RCU descriptor
-// snapshots pinned per batch, so decisions never lock against
-// supervisor edits — and answers batched protection queries over
-// HTTP/JSON.
+// Command ringd is the protection-decision daemon: an image registry
+// serving N independent descriptor spaces (tenants) from one process.
+// Each loaded machine image becomes a tenant with its own sharded
+// descriptor store, its own pool of decision workers — each an MMU
+// reading immutable RCU descriptor snapshots pinned per batch, so
+// decisions never lock against supervisor edits — and its own bounded
+// queue, so one hot tenant sheds its own overload instead of starving
+// the rest.
 //
 // Usage:
 //
 //	ringd [-addr :8642] [-workers 4] [-queue 64]
 //	      [-batch 1024] [-shards 8] [-image image.json]
+//	      [-max-tenants 16] [-worker-budget 64] [-image-dir dir]
 //
 // Endpoints:
 //
-//	POST /v1/check   batch of access/call/return/effring queries
-//	POST /v1/mutate  supervisor edits: setbrackets, revoke, restore
-//	GET  /healthz    liveness and image shape
-//	GET  /metrics    decisions, faults by kind, snapshot-read and
-//	                 latency counters
+//	GET  /v1/images              list loaded images, states, budgets
+//	POST /v1/images              load an image as a new tenant
+//	GET  /v1/images/{name}       one tenant's status and metrics
+//	POST /v1/images/{name}/seal  freeze the tenant's descriptor space
+//	POST /v1/images/{name}/evict drain and remove the tenant
+//	POST /v1/t/{name}/check      tenant-scoped decision batch
+//	POST /v1/t/{name}/mutate     tenant-scoped supervisor edit
+//	GET  /v1/t/{name}/healthz    tenant liveness and image shape
+//	GET  /v1/t/{name}/metrics    tenant decision/fault/RCU counters
 //
-// The image file is a JSON object {"segments": [...]}, each segment
-// carrying a name, size, access flags, ring brackets and gate count;
-// with no -image flag a built-in demonstration image is served. On
-// SIGINT/SIGTERM the daemon stops accepting, drains the decision queue
-// and exits.
+//	POST /v1/check   \
+//	POST /v1/mutate   | single-tenant compatibility surface: the
+//	GET  /healthz     | tenant named "default", wire format unchanged
+//	GET  /metrics    /
+//
+// The startup image (the -image file, or a built-in demonstration
+// image) is loaded as the tenant named "default". Image files are JSON
+// objects {"segments": [...]}, each segment carrying a name, size,
+// access flags, ring brackets and gate count; POST /v1/images accepts
+// the same segments inline, or a "file" name resolved inside -image-dir
+// when that flag is set. Mutations against a sealed or draining tenant
+// answer 409. On SIGINT/SIGTERM the daemon stops accepting, drains
+// every tenant's decision queue and exits.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,8 +52,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -52,72 +66,13 @@ var (
 	testHookShutdown <-chan struct{}
 )
 
-// imageSegment is the JSON form of one segment in an image file.
-type imageSegment struct {
-	Name    string `json:"name"`
-	Size    int    `json:"size"`
-	Read    bool   `json:"read"`
-	Write   bool   `json:"write"`
-	Execute bool   `json:"execute"`
-	R1      uint8  `json:"r1"`
-	R2      uint8  `json:"r2"`
-	R3      uint8  `json:"r3"`
-	Gates   uint32 `json:"gates"`
-}
-
-type imageFile struct {
-	Segments []imageSegment `json:"segments"`
-}
-
-// demoImage is the image served when no -image flag is given: a small
-// Multics-flavoured layout exercising every protection mechanism.
-func demoImage() []service.Segment {
-	return []service.Segment{
-		{Name: "supervisor", Size: 4096, Read: true, Execute: true,
-			Brackets: core.Brackets{R1: 0, R2: 0, R3: 7}, Gates: 8},
-		{Name: "sys_data", Size: 1024, Read: true, Write: true,
-			Brackets: core.Brackets{R1: 0, R2: 2, R3: 2}},
-		{Name: "math_lib", Size: 2048, Read: true, Execute: true,
-			Brackets: core.Brackets{R1: 0, R2: 7, R3: 7}},
-		{Name: "editor", Size: 2048, Read: true, Execute: true,
-			Brackets: core.Brackets{R1: 4, R2: 4, R3: 5}, Gates: 2},
-		{Name: "user_code", Size: 1024, Read: true, Execute: true,
-			Brackets: core.Brackets{R1: 4, R2: 6, R3: 6}},
-		{Name: "user_data", Size: 4096, Read: true, Write: true,
-			Brackets: core.Brackets{R1: 4, R2: 6, R3: 6}},
-	}
-}
-
 // loadImage reads a JSON image file, or returns the demo image for an
 // empty path.
 func loadImage(path string) ([]service.Segment, error) {
 	if path == "" {
-		return demoImage(), nil
+		return tenant.DemoImage(), nil
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var f imageFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if len(f.Segments) == 0 {
-		return nil, fmt.Errorf("%s: image holds no segments", path)
-	}
-	defs := make([]service.Segment, len(f.Segments))
-	for i, s := range f.Segments {
-		b := core.Brackets{R1: core.Ring(s.R1), R2: core.Ring(s.R2), R3: core.Ring(s.R3)}
-		if err := b.Validate(); err != nil {
-			return nil, fmt.Errorf("%s: segment %q: %w", path, s.Name, err)
-		}
-		defs[i] = service.Segment{
-			Name: s.Name, Size: s.Size,
-			Read: s.Read, Write: s.Write, Execute: s.Execute,
-			Brackets: b, Gates: s.Gates,
-		}
-	}
-	return defs, nil
+	return tenant.LoadImageFile(path)
 }
 
 // run is the testable body of the command.
@@ -125,11 +80,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8642", "listen address")
-	workers := fs.Int("workers", 4, "decision workers, one snapshot-reading MMU each")
-	queue := fs.Int("queue", 64, "bounded batch-queue depth (full queue answers 429)")
+	workers := fs.Int("workers", 4, "default tenant's decision workers, one snapshot-reading MMU each")
+	queue := fs.Int("queue", 64, "bounded batch-queue depth per tenant (full queue answers 429)")
 	batchLimit := fs.Int("batch", 1024, "maximum queries per batch")
-	shards := fs.Int("shards", 0, "descriptor-store shards (power of two; 0 = default 8)")
-	imagePath := fs.String("image", "", "machine image JSON (built-in demo image when empty)")
+	shards := fs.Int("shards", 0, "descriptor-store shards per tenant (power of two; 0 = default 8)")
+	imagePath := fs.String("image", "", "default tenant's machine image JSON (built-in demo image when empty)")
+	maxTenants := fs.Int("max-tenants", 16, "maximum simultaneously loaded images")
+	workerBudget := fs.Int("worker-budget", 64, "total decision workers across all tenants")
+	imageDir := fs.String("image-dir", "", "directory POST /v1/images may load \"file\" images from (disabled when empty)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -139,34 +97,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringd:", err)
 		return 1
 	}
-	st, err := service.NewStore(service.StoreConfig{Shards: *shards}, defs)
-	if err != nil {
-		fmt.Fprintln(stderr, "ringd:", err)
-		return 1
-	}
-	svc, err := service.New(st, service.Config{
+	reg := tenant.NewRegistry(tenant.Config{
+		MaxTenants:   *maxTenants,
+		WorkerBudget: *workerBudget,
+		Defaults: tenant.TenantConfig{
+			Workers:    2,
+			QueueDepth: *queue,
+			BatchLimit: *batchLimit,
+			Shards:     *shards,
+		},
+	})
+	def, err := reg.Load(tenant.DefaultTenant, defs, tenant.TenantConfig{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		BatchLimit: *batchLimit,
+		Shards:     *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ringd:", err)
 		return 1
 	}
-	srv := service.NewServer(svc)
+	h := tenant.NewHandler(reg, tenant.HandlerOptions{ImageDir: *imageDir})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "ringd:", err)
-		srv.Close()
+		h.Close()
 		return 1
 	}
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: h}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	fmt.Fprintf(stdout, "ringd: serving %d segments on %s (%d workers, queue %d, %d shards)\n",
-		len(defs), ln.Addr(), svc.Workers(), svc.QueueDepth(), st.Shards())
+	fmt.Fprintf(stdout, "ringd: serving image %q (%d segments) on %s (%d workers, queue %d, %d shards; up to %d tenants over %d workers)\n",
+		def.Name(), len(defs), ln.Addr(), def.Service().Workers(), def.Service().QueueDepth(),
+		def.Store().Shards(), *maxTenants, *workerBudget)
 	if testHookReady != nil {
 		testHookReady <- ln.Addr().String()
 	}
@@ -178,22 +143,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	select {
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "ringd:", err)
-		srv.Close()
+		h.Close()
 		return 1
 	case s := <-sig:
-		fmt.Fprintf(stdout, "ringd: %v: draining\n", s)
+		fmt.Fprintf(stdout, "ringd: %v: draining %d tenants\n", s, reg.Len())
 	case <-testHookShutdown:
-		fmt.Fprintln(stdout, "ringd: shutdown requested: draining")
+		fmt.Fprintf(stdout, "ringd: shutdown requested: draining %d tenants\n", reg.Len())
 	}
 
 	// Graceful shutdown: stop accepting, finish in-flight HTTP requests,
-	// then drain the decision queue.
+	// then drain every tenant's decision queue.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintln(stderr, "ringd: shutdown:", err)
 	}
-	srv.Close()
+	h.Close()
 	fmt.Fprintln(stdout, "ringd: drained, exiting")
 	return 0
 }

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -190,4 +193,264 @@ func TestRunServeAndShutdown(t *testing.T) {
 	if !strings.Contains(out.String(), "drained, exiting") {
 		t.Errorf("stdout %q lacks drain message", out.String())
 	}
+}
+
+// bootDaemon starts the daemon with the given extra flags and returns
+// its base URL, a shutdown trigger, and the exit-code channel.
+func bootDaemon(t *testing.T, args ...string) (base string, shutdown chan struct{}, done chan int) {
+	t.Helper()
+	ready := make(chan string, 1)
+	shutdown = make(chan struct{})
+	testHookReady = ready
+	testHookShutdown = shutdown
+	t.Cleanup(func() { testHookReady = nil; testHookShutdown = nil })
+
+	done = make(chan int, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, io.Discard)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, shutdown, done
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+		return "", nil, nil
+	}
+}
+
+// stopDaemon triggers the graceful drain and waits for a clean exit.
+func stopDaemon(t *testing.T, shutdown chan struct{}, done chan int) {
+	t.Helper()
+	close(shutdown)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+// TestRunMultiTenant drives the image registry end to end over the
+// wire: load a second tenant, decide against it, seal it (mutations
+// 409), evict it (404 afterwards), while the default tenant keeps
+// serving the single-tenant surface.
+func TestRunMultiTenant(t *testing.T) {
+	base, shutdown, done := bootDaemon(t, "-workers", "2", "-worker-budget", "8")
+	defer stopDaemon(t, shutdown, done)
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	// Load a small second tenant.
+	code, body := post("/v1/images", `{"name": "acct", "workers": 1, "segments": [
+		{"name": "ledger", "size": 64, "read": true, "write": true, "r1": 1, "r2": 3, "r3": 3}
+	]}`)
+	if code != http.StatusCreated {
+		t.Fatalf("load: status %d: %s", code, body)
+	}
+
+	// Decide against it through the tenant-scoped endpoint.
+	code, body = post("/v1/t/acct/check", `{"queries": [
+		{"op": "access", "ring": 2, "segment": "ledger", "kind": "read"},
+		{"op": "access", "ring": 5, "segment": "ledger", "kind": "read"}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("tenant check: status %d: %s", code, body)
+	}
+	var check struct {
+		Decisions []struct {
+			Allowed bool `json:"allowed"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal(body, &check); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(check.Decisions) != 2 || !check.Decisions[0].Allowed || check.Decisions[1].Allowed {
+		t.Errorf("tenant decisions: %+v", check.Decisions)
+	}
+
+	// The default tenant must not know the new tenant's segments.
+	code, body = post("/v1/check", `{"queries": [{"op": "access", "ring": 2, "segment": "ledger", "kind": "read"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("default check: status %d: %s", code, body)
+	}
+	var defCheck struct {
+		Decisions []struct {
+			Err string `json:"err"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal(body, &defCheck); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if defCheck.Decisions[0].Err == "" {
+		t.Error("default tenant resolved another tenant's segment name")
+	}
+
+	// The listing names both tenants.
+	resp, err := http.Get(base + "/v1/images")
+	if err != nil {
+		t.Fatalf("GET /v1/images: %v", err)
+	}
+	var list struct {
+		Tenants []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"tenants"`
+		WorkersInUse int `json:"workers_in_use"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	resp.Body.Close()
+	if len(list.Tenants) != 2 || list.Tenants[0].Name != "acct" || list.Tenants[1].Name != "default" {
+		t.Errorf("listing: %+v", list)
+	}
+	if list.WorkersInUse != 3 {
+		t.Errorf("workers in use = %d, want 3 (2 default + 1 acct)", list.WorkersInUse)
+	}
+
+	// Seal: decisions keep flowing, mutations answer 409.
+	if code, body = post("/v1/images/acct/seal", ""); code != http.StatusOK {
+		t.Fatalf("seal: status %d: %s", code, body)
+	}
+	if code, body = post("/v1/t/acct/mutate", `{"op": "revoke", "segment": "ledger"}`); code != http.StatusConflict {
+		t.Errorf("mutate sealed: status %d, want 409: %s", code, body)
+	}
+	if code, body = post("/v1/t/acct/check", `{"queries": [{"op": "access", "ring": 2, "segment": "ledger", "kind": "read"}]}`); code != http.StatusOK {
+		t.Errorf("check sealed: status %d, want 200: %s", code, body)
+	}
+
+	// Evict: the name disappears from the API.
+	if code, body = post("/v1/images/acct/evict", ""); code != http.StatusOK {
+		t.Fatalf("evict: status %d: %s", code, body)
+	}
+	if code, _ = post("/v1/t/acct/check", `{"queries": [{"op": "access", "ring": 2, "segno": 0}]}`); code != http.StatusNotFound {
+		t.Errorf("check evicted: status %d, want 404", code)
+	}
+	if code, _ = post("/v1/images/acct/seal", ""); code != http.StatusNotFound {
+		t.Errorf("seal evicted: status %d, want 404", code)
+	}
+}
+
+// TestRunShutdownWithQueuedBatches is the graceful-drain regression:
+// a burst of concurrent batches is in flight when the shutdown
+// triggers. Every response must be a clean 200 (drained before the
+// listener closed) or a connection/503 refusal — never a 500 — and
+// the daemon must still exit 0.
+func TestRunShutdownWithQueuedBatches(t *testing.T) {
+	base, shutdown, done := bootDaemon(t, "-workers", "1", "-queue", "4")
+
+	body := `{"queries": [
+		{"op": "access", "ring": 5, "segment": "user_data", "kind": "read"},
+		{"op": "call", "ring": 5, "segment": "supervisor", "wordno": 3},
+		{"op": "effring", "ring": 2, "chain": [{"ring": 3, "segno": 1}, {"pr": true, "ring": 6}]}
+	]}`
+	const inflight = 16
+	var wg sync.WaitGroup
+	statuses := make(chan int, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/check", "application/json", strings.NewReader(body))
+			if err != nil {
+				return // connection refused after the listener closed
+			}
+			defer resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Trigger the drain while the burst is in flight.
+	close(shutdown)
+	wg.Wait()
+	close(statuses)
+	for code := range statuses {
+		switch code {
+		case http.StatusOK, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		default:
+			t.Errorf("in-flight batch answered %d during drain", code)
+		}
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain with batches queued")
+	}
+}
+
+// TestRunMutationRacingDrain pins the 409 contract at daemon level: a
+// stream of mutations racing an eviction must see only 200 (applied
+// before the drain), 409 (conflict during/after the state flip), or
+// 404 (tenant already gone) — never a 500.
+func TestRunMutationRacingDrain(t *testing.T) {
+	base, shutdown, done := bootDaemon(t, "-worker-budget", "8")
+	defer stopDaemon(t, shutdown, done)
+
+	code := postStatus(t, base+"/v1/images", `{"name": "victim", "workers": 1, "segments": [
+		{"name": "seg", "size": 16, "read": true, "write": true, "r1": 1, "r2": 3, "r3": 3}
+	]}`)
+	if code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	bad := make(chan int, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := fmt.Sprintf(`{"op": "setbrackets", "segment": "seg", "read": true, "write": true, "r1": 1, "r2": %d, "r3": %d}`, 2+i%2, 3)
+			switch s := postStatus(t, base+"/v1/t/victim/mutate", body); s {
+			case http.StatusOK, http.StatusConflict, http.StatusNotFound:
+			default:
+				select {
+				case bad <- s:
+				default:
+				}
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if code := postStatus(t, base+"/v1/images/victim/evict", ""); code != http.StatusOK {
+		t.Errorf("evict: status %d", code)
+	}
+	close(stop)
+	wg.Wait()
+	close(bad)
+	for s := range bad {
+		t.Errorf("mutation racing drain answered %d (want 200/409/404)", s)
+	}
+}
+
+// postStatus posts a body and returns only the status code.
+func postStatus(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sink bytes.Buffer
+	sink.ReadFrom(resp.Body)
+	return resp.StatusCode
 }

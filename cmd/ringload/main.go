@@ -11,7 +11,8 @@
 //	         [-mix access=8,call=1,return=1,effring=1]
 //	         [-workers 4] [-shards 0] [-queue 0]
 //	         [-mutators 1] [-seed 1] [-sweep 1,2,4,8]
-//	         [-sweep-workers 1,2,4] [-target http://host:8642] [-json]
+//	         [-sweep-workers 1,2,4] [-tenants 1]
+//	         [-target http://host:8642] [-json]
 //
 // Each of the -c clients owns one pre-generated query batch pool and
 // one reusable decision buffer, and loops: submit, record the batch
@@ -25,6 +26,16 @@
 // several worker-pool sizes; given both, the cross product is swept
 // (the T14 scaling grid).
 //
+// -tenants N (N >= 2, in-process) runs the T15 isolation experiment
+// instead: N independent tenants are loaded into one tenant.Registry,
+// the -c hot clients spread their load over tenants 0..N-2 with a
+// Zipf-skewed pick per batch, and one extra cold client drives tenant
+// N-1 alone. A baseline trial (cold client only) runs first; the
+// headline metric is the cold tenant's p99 under contention relative
+// to that baseline — per-tenant worker pools and bounded queues should
+// hold it near 1.0 while the hot tenants saturate their quotas and
+// shed.
+//
 // With -json, results are emitted as a JSON array in the same shape as
 // ringbench -json (id, title, host_ns, metrics, lines), so the two
 // artifacts can feed the same dashboards.
@@ -32,6 +43,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -48,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/tenant"
 	"repro/rings"
 )
 
@@ -66,6 +79,7 @@ type config struct {
 	seed         int64
 	sweep        []int
 	sweepWorkers []int
+	tenants      int
 	target       string
 	jsonOut      bool
 }
@@ -389,6 +403,223 @@ func (d *httpDriver) submit(_ int, batch []rings.Query, dst []rings.Decision) (b
 
 func (d *httpDriver) close() {}
 
+// ---- T15: multi-tenant isolation ----
+
+// zipfS is the Zipf skew of the hot-tenant pick: s=1.2 concentrates
+// most batches on the first few tenants, the realistic "one noisy
+// neighbour" shape.
+const zipfS = 1.2
+
+// t15Result is one T15 trial's measurements: the cold tenant's own
+// latency/throughput, the hot aggregate, and the per-tenant decision
+// spread.
+type t15Result struct {
+	elapsed   time.Duration
+	cold      hist
+	coldN     uint64
+	hot       hist
+	hotN      uint64
+	shed      uint64
+	perTenant []uint64
+}
+
+// t15Trial drives one trial: a single cold client on the last tenant,
+// plus (when contended) cfg.clients hot clients Zipf-spread over the
+// others. pools must hold cfg.clients+1 client pools; the extra one
+// feeds the cold client.
+func t15Trial(cfg config, ts []*tenant.Tenant, pools [][][]rings.Query, contended bool) (*t15Result, error) {
+	res := &t15Result{}
+	cold := ts[len(ts)-1]
+	nhot := 0
+	if contended {
+		nhot = cfg.clients
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, nhot+1)
+	hotHists := make([]hist, nhot)
+	perTenant := make([]atomic.Uint64, len(ts))
+	var hotN, shed atomic.Uint64
+	ctx := context.Background()
+
+	start := time.Now()
+	for c := 0; c < nhot; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 1000 + int64(c)))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(ts)-2))
+			dst := make([]rings.Decision, cfg.batch)
+			pool := pools[c]
+			for i := 0; !stop.Load(); i++ {
+				idx := int(zipf.Uint64())
+				batch := pool[i%len(pool)]
+				t0 := time.Now()
+				err := ts[idx].SubmitInto(ctx, batch, dst)
+				switch {
+				case err == nil:
+					hotHists[c].add(time.Since(t0).Nanoseconds())
+					perTenant[idx].Add(uint64(len(batch)))
+					hotN.Add(uint64(len(batch)))
+				case errors.Is(err, rings.ErrQueueFull):
+					shed.Add(1)
+				default:
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dst := make([]rings.Decision, cfg.batch)
+		pool := pools[cfg.clients]
+		for i := 0; !stop.Load(); i++ {
+			batch := pool[i%len(pool)]
+			t0 := time.Now()
+			err := cold.SubmitInto(ctx, batch, dst)
+			switch {
+			case err == nil:
+				res.cold.add(time.Since(t0).Nanoseconds())
+				res.coldN += uint64(len(batch))
+			case errors.Is(err, rings.ErrQueueFull):
+				shed.Add(1)
+			default:
+				errc <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	res.hotN, res.shed = hotN.Load(), shed.Load()
+	for i := range hotHists {
+		res.hot.merge(&hotHists[i])
+	}
+	res.perTenant = make([]uint64, len(ts))
+	for i := range perTenant {
+		res.perTenant[i] = perTenant[i].Load()
+	}
+	return res, nil
+}
+
+// runT15 loads cfg.tenants independent demo-image tenants into one
+// registry, measures the cold tenant alone (baseline), then again with
+// Zipf-skewed hot neighbours, and reports both trials.
+func runT15(cfg config) ([]jsonResult, error) {
+	if cfg.tenants < 2 {
+		return nil, fmt.Errorf("-tenants wants at least 2, got %d", cfg.tenants)
+	}
+	reg := tenant.NewRegistry(tenant.Config{
+		MaxTenants:   cfg.tenants,
+		WorkerBudget: cfg.tenants * cfg.workers,
+	})
+	defer reg.Close()
+	segs := loadImage()
+	ts := make([]*tenant.Tenant, cfg.tenants)
+	for i := range ts {
+		t, err := reg.Load(fmt.Sprintf("t%d", i), segs, tenant.TenantConfig{
+			Workers: cfg.workers, QueueDepth: cfg.queue, Shards: cfg.shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts[i] = t
+	}
+
+	gen := cfg
+	gen.clients = cfg.clients + 1 // the extra pool feeds the cold client
+	pools := genBatches(gen, uint32(len(segs)))
+
+	base, err := t15Trial(cfg, ts, pools, false)
+	if err != nil {
+		return nil, err
+	}
+	cont, err := t15Trial(cfg, ts, pools, true)
+	if err != nil {
+		return nil, err
+	}
+
+	coldTPS := func(r *t15Result) float64 {
+		if r.elapsed <= 0 {
+			return 0
+		}
+		return float64(r.coldN) / r.elapsed.Seconds()
+	}
+	baseline := jsonResult{
+		ID:     "RINGLOAD-T15-BASELINE",
+		Title:  "tenant isolation baseline: cold tenant alone",
+		HostNs: base.elapsed.Nanoseconds(),
+		Metrics: map[string]float64{
+			"cold_decisions_per_sec": coldTPS(base),
+			"cold_p50_ns":            float64(base.cold.quantile(0.50)),
+			"cold_p99_ns":            float64(base.cold.quantile(0.99)),
+			"tenants":                float64(cfg.tenants),
+			"workers_per_tenant":     float64(cfg.workers),
+			"batch":                  float64(cfg.batch),
+		},
+		Lines: []string{
+			fmt.Sprintf("%d tenants x %d workers, cold client only, batch %d, %v",
+				cfg.tenants, cfg.workers, cfg.batch, cfg.duration),
+			fmt.Sprintf("cold tenant t%d: %d decisions (%.0f/s), p50 %v p99 %v",
+				cfg.tenants-1, base.coldN, coldTPS(base),
+				time.Duration(base.cold.quantile(0.50)), time.Duration(base.cold.quantile(0.99))),
+		},
+	}
+
+	ratio := 0.0
+	if p := base.cold.quantile(0.99); p > 0 {
+		ratio = float64(cont.cold.quantile(0.99)) / float64(p)
+	}
+	hottest := 0
+	for i, n := range cont.perTenant {
+		if n > cont.perTenant[hottest] {
+			hottest = i
+		}
+	}
+	hotShare := 0.0
+	if cont.hotN > 0 {
+		hotShare = 100 * float64(cont.perTenant[hottest]) / float64(cont.hotN)
+	}
+	contended := jsonResult{
+		ID:     "RINGLOAD-T15",
+		Title:  "tenant isolation: Zipf-hot neighbours vs cold tenant p99",
+		HostNs: cont.elapsed.Nanoseconds(),
+		Metrics: map[string]float64{
+			"hot_decisions_per_sec":  float64(cont.hotN) / cont.elapsed.Seconds(),
+			"hot_p99_ns":             float64(cont.hot.quantile(0.99)),
+			"shed_batches":           float64(cont.shed),
+			"cold_decisions_per_sec": coldTPS(cont),
+			"cold_p99_ns":            float64(cont.cold.quantile(0.99)),
+			"cold_p99_baseline_ns":   float64(base.cold.quantile(0.99)),
+			"cold_p99_ratio":         ratio,
+			"tenants":                float64(cfg.tenants),
+			"workers_per_tenant":     float64(cfg.workers),
+			"clients":                float64(cfg.clients),
+			"batch":                  float64(cfg.batch),
+		},
+		Lines: []string{
+			fmt.Sprintf("%d tenants x %d workers, %d hot clients (zipf s=%.1f over t0..t%d) + 1 cold client, batch %d, %v",
+				cfg.tenants, cfg.workers, cfg.clients, zipfS, cfg.tenants-2, cfg.batch, cfg.duration),
+			fmt.Sprintf("hot aggregate: %d decisions (%.0f/s), p99 %v, %d batches shed; hottest t%d took %.0f%%",
+				cont.hotN, float64(cont.hotN)/cont.elapsed.Seconds(),
+				time.Duration(cont.hot.quantile(0.99)), cont.shed, hottest, hotShare),
+			fmt.Sprintf("cold tenant t%d: %d decisions (%.0f/s), p99 %v vs baseline %v (ratio %.2f)",
+				cfg.tenants-1, cont.coldN, coldTPS(cont),
+				time.Duration(cont.cold.quantile(0.99)), time.Duration(base.cold.quantile(0.99)), ratio),
+		},
+	}
+	return []jsonResult{baseline, contended}, nil
+}
+
 // ---- Run loop ----
 
 // result is one trial's measurements.
@@ -568,6 +799,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "query-generation seed")
 	sweepFlag := fs.String("sweep", "", "comma-separated shard counts to sweep (in-process)")
 	sweepWorkersFlag := fs.String("sweep-workers", "", "comma-separated worker counts to sweep (in-process; with -sweep, the cross product)")
+	tenants := fs.Int("tenants", 1, "tenants for the T15 isolation experiment (>= 2 enables it; in-process)")
 	target := fs.String("target", "", "ringd base URL; empty runs in-process")
 	jsonOut := fs.Bool("json", false, "emit results as a ringbench-compatible JSON array")
 	if err := fs.Parse(args); err != nil {
@@ -592,11 +824,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringload: -c, -batch and -duration must be positive")
 		return 1
 	}
+	if *tenants > 1 && *target != "" {
+		fmt.Fprintln(stderr, "ringload: -tenants is in-process only, not with -target")
+		return 1
+	}
 	cfg := config{
 		clients: *clients, duration: *duration, batch: *batch, mix: m,
 		workers: *workers, shards: *shards, queue: *queue,
 		mutators: *mutators, seed: *seed, sweep: sweep, sweepWorkers: sweepWorkers,
-		target: *target, jsonOut: *jsonOut,
+		tenants: *tenants, target: *target, jsonOut: *jsonOut,
 	}
 
 	var results []jsonResult
@@ -616,37 +852,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		results = append(results, report(cfg, res, "http"))
-	case len(cfg.sweep) > 0 || len(cfg.sweepWorkers) > 0:
-		// Sweep the worker × shard grid in ascending order; a missing
-		// axis holds the flag (or default) value fixed.
-		shardCounts := append([]int(nil), cfg.sweep...)
-		if len(shardCounts) == 0 {
-			shardCounts = []int{cfg.shards}
-		}
-		workerCounts := append([]int(nil), cfg.sweepWorkers...)
-		if len(workerCounts) == 0 {
-			workerCounts = []int{cfg.workers}
-		}
-		sort.Ints(shardCounts)
-		sort.Ints(workerCounts)
-		for _, w := range workerCounts {
-			for _, n := range shardCounts {
-				cfg.workers = w
-				res, err := trialInProcess(cfg, n)
-				if err != nil {
-					fmt.Fprintln(stderr, "ringload:", err)
-					return 1
-				}
-				results = append(results, report(cfg, res, "in-process"))
-			}
-		}
 	default:
-		res, err := trialInProcess(cfg, cfg.shards)
-		if err != nil {
-			fmt.Fprintln(stderr, "ringload:", err)
-			return 1
+		// In-process sections compose: a sweep grid, the T15 tenant
+		// experiment, or (when neither is asked for) one plain trial —
+		// all emitted into the same results array, so CI gets one
+		// artifact from one invocation.
+		ran := false
+		if len(cfg.sweep) > 0 || len(cfg.sweepWorkers) > 0 {
+			// Sweep the worker × shard grid in ascending order; a missing
+			// axis holds the flag (or default) value fixed.
+			shardCounts := append([]int(nil), cfg.sweep...)
+			if len(shardCounts) == 0 {
+				shardCounts = []int{cfg.shards}
+			}
+			workerCounts := append([]int(nil), cfg.sweepWorkers...)
+			if len(workerCounts) == 0 {
+				workerCounts = []int{cfg.workers}
+			}
+			sort.Ints(shardCounts)
+			sort.Ints(workerCounts)
+			scfg := cfg
+			for _, w := range workerCounts {
+				for _, n := range shardCounts {
+					scfg.workers = w
+					res, err := trialInProcess(scfg, n)
+					if err != nil {
+						fmt.Fprintln(stderr, "ringload:", err)
+						return 1
+					}
+					results = append(results, report(scfg, res, "in-process"))
+				}
+			}
+			ran = true
 		}
-		results = append(results, report(cfg, res, "in-process"))
+		if cfg.tenants > 1 {
+			t15, err := runT15(cfg)
+			if err != nil {
+				fmt.Fprintln(stderr, "ringload:", err)
+				return 1
+			}
+			results = append(results, t15...)
+			ran = true
+		}
+		if !ran {
+			res, err := trialInProcess(cfg, cfg.shards)
+			if err != nil {
+				fmt.Fprintln(stderr, "ringload:", err)
+				return 1
+			}
+			results = append(results, report(cfg, res, "in-process"))
+		}
 	}
 
 	if cfg.jsonOut {

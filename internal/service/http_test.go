@@ -289,7 +289,7 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	if len(snap.LatencyNs) == 0 {
 		t.Error("metrics report no latency buckets")
 	}
-	if snap.Faults["outside read bracket"] != 4 {
+	if snap.Faults["outside_read_bracket"] != 4 {
 		t.Errorf("faults: %v", snap.Faults)
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -135,6 +136,23 @@ type Snapshot struct {
 	LatencyNs []LatencyBucket `json:"latency_ns"`
 }
 
+// metricKey normalizes a human-readable name into the snake_case key
+// space the rest of /metrics uses: core.ViolationKind strings carry
+// spaces ("outside read bracket") and trace.Kind strings hyphens
+// ("ring-switch"), while every struct field marshals as snake_case.
+// The map keys in Faults and Events go through this so one /metrics
+// document never mixes naming styles. Decision.Violation on the
+// /v1/check wire keeps the human-readable form.
+func metricKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '-':
+			return '_'
+		}
+		return r
+	}, s)
+}
+
 // Metrics returns the service's counters (live; reads are atomic).
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
@@ -184,12 +202,12 @@ func (s *Service) Snapshot() Snapshot {
 	}
 	for k := 0; k < violationKinds; k++ {
 		if n := m.faults[k].Load(); n > 0 {
-			snap.Faults[core.ViolationKind(k).String()] = n
+			snap.Faults[metricKey(core.ViolationKind(k).String())] = n
 		}
 	}
 	for k := 0; k < trace.KindCount; k++ {
 		if n := s.events.Of(trace.Kind(k)); n > 0 {
-			snap.Events[trace.Kind(k).String()] = n
+			snap.Events[metricKey(trace.Kind(k).String())] = n
 		}
 	}
 	snap.RCU = s.store.RCUStats()

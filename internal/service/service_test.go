@@ -847,7 +847,7 @@ func TestMetricsSnapshot(t *testing.T) {
 		snap.Ops[string(OpReturn)] != 3 || snap.Ops[string(OpEffRing)] != 3 {
 		t.Errorf("per-op counts wrong: %v", snap.Ops)
 	}
-	if snap.Faults[core.ViolationReadBracket.String()] != 3 {
+	if snap.Faults[metricKey(core.ViolationReadBracket.String())] != 3 {
 		t.Errorf("faults: %v", snap.Faults)
 	}
 	if snap.Reads.Pins == 0 || snap.Reads.Lookups == 0 {

@@ -1,0 +1,108 @@
+package tenant
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenReplayAgainstDefaultTenant replays the service package's
+// golden HTTP fixture sequence against the multi-tenant handler's
+// compatibility surface. The fixtures are read from the service
+// package's testdata (never rewritten here): a single-tenant client
+// pointed at a multi-tenant ringd must see byte-identical responses
+// from the default tenant.
+func TestGoldenReplayAgainstDefaultTenant(t *testing.T) {
+	fixture := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join("..", "service", "testdata", "golden", name)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		return want
+	}
+	// Workers: 1 and the default shard count, exactly like the service
+	// golden test, so worker indices and store versions match.
+	r := NewRegistry(Config{})
+	if _, err := r.Load(DefaultTenant, testImage(), TenantConfig{Workers: 1}); err != nil {
+		t.Fatalf("load default: %v", err)
+	}
+	h := NewHandler(r, HandlerOptions{})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() { ts.Close(); h.Close() })
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+	post := func(path, body string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST %s: status %d, want %d: %s", path, resp.StatusCode, wantStatus, buf.String())
+		}
+		return buf.Bytes()
+	}
+	replay := func(name, got string) {
+		t.Helper()
+		want := fixture(name)
+		if !bytes.Equal([]byte(got), want) {
+			t.Errorf("default tenant drifted from fixture %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+
+	// The same ordered sequence TestHTTPGolden pins, through the
+	// compatibility endpoints.
+	replay("healthz.json", string(get("/healthz")))
+
+	replay("check_ok.json", string(post("/v1/check", `{"queries": [
+  {"op": "access", "ring": 4, "segment": "data", "wordno": 3, "kind": "read"},
+  {"op": "access", "ring": 5, "segment": "data", "kind": "read"},
+  {"op": "access", "ring": 7, "segment": "secret", "kind": "read"},
+  {"op": "call", "ring": 4, "segment": "code", "wordno": 1},
+  {"op": "return", "ring": 2, "segment": "code", "eff_ring": 3},
+  {"op": "effring", "ring": 2, "chain": [{"pr": true, "ring": 3}]}
+]}`, http.StatusOK)))
+
+	replay("check_malformed.json", string(post("/v1/check", "{not json", http.StatusBadRequest)))
+	replay("check_empty.json", string(post("/v1/check", `{"queries": []}`, http.StatusBadRequest)))
+	replay("check_bad_kind.json", string(post("/v1/check",
+		`{"queries": [{"op": "access", "ring": 1, "segment": "data", "kind": "sniff"}]}`,
+		http.StatusBadRequest)))
+
+	replay("mutate_ok.json", string(post("/v1/mutate",
+		`{"op": "setbrackets", "segment": "data", "read": true, "write": true, "r1": 1, "r2": 1, "r3": 1}`,
+		http.StatusOK)))
+
+	replay("check_after_mutate.json", string(post("/v1/check",
+		`{"queries": [{"op": "access", "ring": 4, "segment": "data", "wordno": 3, "kind": "read"}]}`,
+		http.StatusOK)))
+
+	replay("mutate_unknown_segment.json", string(post("/v1/mutate",
+		`{"op": "revoke", "segment": "nonesuch"}`, http.StatusNotFound)))
+
+	// The same bytes are also served under the tenant-scoped route.
+	replay("check_after_mutate.json", string(post("/v1/t/default/check",
+		`{"queries": [{"op": "access", "ring": 4, "segment": "data", "wordno": 3, "kind": "read"}]}`,
+		http.StatusOK)))
+}

@@ -1,0 +1,339 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/service"
+)
+
+// Handler is the multi-tenant HTTP face of a Registry — the ringd
+// daemon's handler. Endpoints:
+//
+//	GET    /v1/images               — list loaded images and budgets
+//	POST   /v1/images               — load an image (inline segments or
+//	                                  a file under the image directory)
+//	GET    /v1/images/{name}        — one tenant's status and metrics
+//	POST   /v1/images/{name}/seal   — freeze the descriptor space
+//	POST   /v1/images/{name}/evict  — drain and remove (DELETE works too)
+//	ANY    /v1/t/{name}/check       — tenant-scoped decision batch
+//	ANY    /v1/t/{name}/mutate      — tenant-scoped supervisor edit
+//	GET    /v1/t/{name}/healthz     — tenant liveness and image shape
+//	GET    /v1/t/{name}/metrics     — tenant decision/fault/RCU counters
+//
+// plus the single-tenant compatibility surface — /v1/check, /v1/mutate,
+// /healthz, /metrics — which routes to the tenant named "default" with
+// an unchanged wire format (the golden HTTP fixtures pass against it
+// byte for byte).
+//
+// Lifecycle conflicts map to HTTP as follows: a mutation against a
+// sealed or draining tenant answers 409 (conflict — the descriptor
+// space is frozen or going away), a decision against a draining tenant
+// answers 503 with Retry-After (the drain is transient from the
+// fleet's point of view: retry another replica), and anything against
+// an evicted tenant answers 404.
+type Handler struct {
+	reg *Registry
+	mux *http.ServeMux
+	// imageDir, when non-empty, permits POST /v1/images to read image
+	// files from inside this directory ("file" loads are rejected
+	// otherwise — the management API must not become a file oracle).
+	imageDir string
+}
+
+// HandlerOptions configures a Handler.
+type HandlerOptions struct {
+	// ImageDir permits "file" loads from inside this directory; empty
+	// disables file loads.
+	ImageDir string
+}
+
+// NewHandler wraps reg in the multi-tenant HTTP API.
+func NewHandler(reg *Registry, opt HandlerOptions) *Handler {
+	h := &Handler{reg: reg, mux: http.NewServeMux(), imageDir: opt.ImageDir}
+	h.mux.HandleFunc("GET /v1/images", h.handleList)
+	h.mux.HandleFunc("POST /v1/images", h.handleLoad)
+	h.mux.HandleFunc("GET /v1/images/{name}", h.handleDetail)
+	h.mux.HandleFunc("DELETE /v1/images/{name}", h.handleEvict)
+	h.mux.HandleFunc("POST /v1/images/{name}/seal", h.handleSeal)
+	h.mux.HandleFunc("POST /v1/images/{name}/evict", h.handleEvict)
+	h.mux.HandleFunc("/v1/t/{name}/{endpoint}", h.handleTenant)
+	// Single-tenant compatibility surface: the default tenant's wire
+	// format, unchanged.
+	h.mux.HandleFunc("/v1/check", h.forwardDefault("check"))
+	h.mux.HandleFunc("/v1/mutate", h.forwardDefault("mutate"))
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	h.mux.HandleFunc("/metrics", h.forwardDefault("metrics"))
+	return h
+}
+
+// Registry returns the underlying registry.
+func (h *Handler) Registry() *Registry { return h.reg }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Close evicts every tenant (daemon shutdown). Call after the HTTP
+// listener has stopped accepting so in-flight requests complete first.
+func (h *Handler) Close() { h.reg.Close() }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON mirrors the service package's encoder (two-space indent)
+// so every endpoint of the daemon shares one wire style.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// lifecycleError maps a lifecycle rejection to its HTTP status:
+// 409 for mutations against a sealed or draining tenant, 503 with
+// Retry-After for decisions against a draining or loading one.
+func lifecycleError(w http.ResponseWriter, err error, mutation bool) {
+	switch {
+	case errors.Is(err, ErrSealed):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		if mutation {
+			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrLoading):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrTenantNotFound):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (h *Handler) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.reg.Status())
+}
+
+// loadRequest is the JSON body of POST /v1/images.
+type loadRequest struct {
+	Name string `json:"name"`
+	// Segments carries the image inline; File names an image JSON file
+	// inside the daemon's image directory. Exactly one must be set.
+	Segments []ImageSegment `json:"segments,omitempty"`
+	File     string         `json:"file,omitempty"`
+	// Sizing overrides; zero fields take the registry defaults.
+	Workers int `json:"workers,omitempty"`
+	Queue   int `json:"queue,omitempty"`
+	Batch   int `json:"batch,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+}
+
+type loadResponse struct {
+	OK       bool   `json:"ok"`
+	Name     string `json:"name"`
+	State    string `json:"state"`
+	Segments int    `json:"segments"`
+	Workers  int    `json:"workers"`
+}
+
+// imageFilePath resolves a "file" load against the configured image
+// directory, rejecting escapes.
+func (h *Handler) imageFilePath(name string) (string, error) {
+	if h.imageDir == "" {
+		return "", fmt.Errorf("file loads are disabled (no image directory configured)")
+	}
+	path := filepath.Join(h.imageDir, filepath.Clean("/"+name))
+	rel, err := filepath.Rel(h.imageDir, path)
+	if err != nil || rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return "", fmt.Errorf("image file %q escapes the image directory", name)
+	}
+	return path, nil
+}
+
+func (h *Handler) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if !ValidName(req.Name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad tenant name %q", req.Name)})
+		return
+	}
+	if (len(req.Segments) == 0) == (req.File == "") {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "exactly one of segments or file must be given"})
+		return
+	}
+	var defs []service.Segment
+	var err error
+	if req.File != "" {
+		path, perr := h.imageFilePath(req.File)
+		if perr != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: perr.Error()})
+			return
+		}
+		defs, err = LoadImageFile(path)
+		if err != nil {
+			status := http.StatusBadRequest
+			if os.IsNotExist(err) {
+				status = http.StatusNotFound
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		defs, err = Segments(req.Segments)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	t, err := h.reg.Load(req.Name, defs, TenantConfig{
+		Workers: req.Workers, QueueDepth: req.Queue, BatchLimit: req.Batch, Shards: req.Shards,
+	})
+	switch {
+	case errors.Is(err, ErrTenantExists), errors.Is(err, ErrTooManyTenants), errors.Is(err, ErrWorkerBudget):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, loadResponse{
+		OK: true, Name: t.Name(), State: t.State().String(),
+		Segments: len(t.Store().Segments()), Workers: t.Config().Workers,
+	})
+}
+
+// detailResponse is GET /v1/images/{name}: the listing row plus the
+// tenant's full metrics snapshot.
+type detailResponse struct {
+	Status  TenantStatus     `json:"status"`
+	Metrics service.Snapshot `json:"metrics"`
+}
+
+func (h *Handler) handleDetail(w http.ResponseWriter, r *http.Request) {
+	t, ok := h.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("%v: %q", ErrTenantNotFound, r.PathValue("name"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, detailResponse{Status: t.Status(), Metrics: t.Service().Snapshot()})
+}
+
+type lifecycleResponse struct {
+	OK    bool   `json:"ok"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+}
+
+func (h *Handler) handleSeal(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.reg.Seal(name); err != nil {
+		if errors.Is(err, ErrTenantNotFound) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, lifecycleResponse{OK: true, Name: name, State: StateSealed.String()})
+}
+
+func (h *Handler) handleEvict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.reg.Evict(name); err != nil {
+		switch {
+		case errors.Is(err, ErrTenantNotFound):
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, lifecycleResponse{OK: true, Name: name, State: StateEvicted.String()})
+}
+
+// forward rewrites a tenant-scoped request onto the tenant's
+// single-tenant server, gating it on the lifecycle state first so a
+// frozen or draining tenant answers its conflict status instead of a
+// surprising 500/503 from deeper layers.
+func (h *Handler) forward(w http.ResponseWriter, r *http.Request, t *Tenant, endpoint string) {
+	var target string
+	switch endpoint {
+	case "check":
+		if err := t.checkable(); err != nil {
+			lifecycleError(w, err, false)
+			return
+		}
+		target = "/v1/check"
+	case "mutate":
+		if err := t.mutable(); err != nil {
+			lifecycleError(w, err, true)
+			return
+		}
+		target = "/v1/mutate"
+	case "healthz":
+		target = "/healthz"
+	case "metrics":
+		target = "/metrics"
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown tenant endpoint %q", endpoint)})
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = target
+	r2.URL.RawPath = ""
+	t.Server().ServeHTTP(w, r2)
+}
+
+func (h *Handler) handleTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, ok := h.reg.Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("%v: %q", ErrTenantNotFound, name)})
+		return
+	}
+	h.forward(w, r, t, r.PathValue("endpoint"))
+}
+
+// forwardDefault routes a single-tenant endpoint to the default
+// tenant.
+func (h *Handler) forwardDefault(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := h.reg.Get(DefaultTenant)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("%v: %q", ErrTenantNotFound, DefaultTenant)})
+			return
+		}
+		h.forward(w, r, t, endpoint)
+	}
+}
+
+// handleHealthz forwards to the default tenant (unchanged single-
+// tenant wire shape) when one is loaded, and degrades to a registry-
+// level liveness answer when there is none — a fleet daemon with no
+// default image is still alive.
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if t, ok := h.reg.Get(DefaultTenant); ok {
+		h.forward(w, r, t, "healthz")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		OK      bool `json:"ok"`
+		Tenants int  `json:"tenants"`
+	}{OK: true, Tenants: h.reg.Len()})
+}

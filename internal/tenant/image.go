@@ -1,0 +1,92 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// ImageSegment is the JSON form of one segment in an image file or a
+// /v1/images load request: name, size, access flags, ring brackets and
+// gate count.
+type ImageSegment struct {
+	Name    string `json:"name"`
+	Size    int    `json:"size"`
+	Read    bool   `json:"read"`
+	Write   bool   `json:"write"`
+	Execute bool   `json:"execute"`
+	R1      uint8  `json:"r1"`
+	R2      uint8  `json:"r2"`
+	R3      uint8  `json:"r3"`
+	Gates   uint32 `json:"gates"`
+}
+
+// ImageFile is the JSON shape of a machine image: {"segments": [...]}.
+type ImageFile struct {
+	Segments []ImageSegment `json:"segments"`
+}
+
+// Segments converts the wire segments into store segments, validating
+// each bracket triple.
+func Segments(segs []ImageSegment) ([]service.Segment, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("image holds no segments")
+	}
+	defs := make([]service.Segment, len(segs))
+	for i, s := range segs {
+		b := core.Brackets{R1: core.Ring(s.R1), R2: core.Ring(s.R2), R3: core.Ring(s.R3)}
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("segment %q: %w", s.Name, err)
+		}
+		defs[i] = service.Segment{
+			Name: s.Name, Size: s.Size,
+			Read: s.Read, Write: s.Write, Execute: s.Execute,
+			Brackets: b, Gates: s.Gates,
+		}
+	}
+	return defs, nil
+}
+
+// ParseImage decodes an image file body and validates its segments.
+func ParseImage(data []byte) ([]service.Segment, error) {
+	var f ImageFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return Segments(f.Segments)
+}
+
+// LoadImageFile reads and parses a machine image JSON file.
+func LoadImageFile(path string) ([]service.Segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defs, err := ParseImage(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return defs, nil
+}
+
+// DemoImage is the image served when no file is given: a small
+// Multics-flavoured layout exercising every protection mechanism.
+func DemoImage() []service.Segment {
+	return []service.Segment{
+		{Name: "supervisor", Size: 4096, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 0, R3: 7}, Gates: 8},
+		{Name: "sys_data", Size: 1024, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 0, R2: 2, R3: 2}},
+		{Name: "math_lib", Size: 2048, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 0, R2: 7, R3: 7}},
+		{Name: "editor", Size: 2048, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 4, R3: 5}, Gates: 2},
+		{Name: "user_code", Size: 1024, Read: true, Execute: true,
+			Brackets: core.Brackets{R1: 4, R2: 6, R3: 6}},
+		{Name: "user_data", Size: 4096, Read: true, Write: true,
+			Brackets: core.Brackets{R1: 4, R2: 6, R3: 6}},
+	}
+}

@@ -226,7 +226,7 @@ func TestCheckerBatchAndMetrics(t *testing.T) {
 	if m.Queries != 3 || m.Batches != 1 {
 		t.Errorf("metrics: queries %d batches %d", m.Queries, m.Batches)
 	}
-	if m.Faults["outside read bracket"] != 1 {
+	if m.Faults["outside_read_bracket"] != 1 {
 		t.Errorf("faults: %+v", m.Faults)
 	}
 }
