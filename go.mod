@@ -1,3 +1,8 @@
 module repro
 
 go 1.22
+
+// The escape-analysis baseline (docs/escape_baseline.txt) records the
+// compiler's escape decisions, which shift between compiler releases;
+// pin the toolchain so the gate compares like with like.
+toolchain go1.24.0

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with `go list -deps -export -json` from dir and
+// returns the module's packages, type-checked from source and in
+// dependency order. Out-of-module dependencies (the standard library)
+// are consumed through their compiler export data, so only the code
+// under analysis is parsed. This is the in-process driver used by
+// `ringvet [packages]` and the tests; `go vet -vettool` runs go
+// through the unitchecker driver instead.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=Dir,ImportPath,Standard,Export,GoFiles,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var listed []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := &listPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		var files []string
+		for _, name := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, name))
+		}
+		pkg, err := typecheck(fset, lp.ImportPath, lp.Module.Path, files, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc-export-data importer whose file lookup
+// is supplied by resolve (import path -> export file).
+func exportImporter(fset *token.FileSet, resolve func(string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := resolve(path)
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// typecheck parses files (skipping _test.go — the static invariants
+// target production code) and type-checks them into a Package.
+func typecheck(fset *token.FileSet, path, module string, files []string, imp types.Importer, goVersion string) (*Package, error) {
+	var syntax []*ast.File
+	for _, file := range files {
+		if strings.HasSuffix(filepath.Base(file), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", file, err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	conf := types.Config{Importer: imp, Sizes: sizes, GoVersion: goVersion}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:   path,
+		Module: module,
+		Fset:   fset,
+		Syntax: syntax,
+		Types:  tpkg,
+		Info:   info,
+		Sizes:  sizes,
+	}, nil
+}

@@ -1,0 +1,74 @@
+// Package mutguard exercises the mutguard analyzer: writes to
+// //ring:guarded fields require the named sibling mutex, proven
+// either by a lexically preceding Lock or a //ring:locked contract.
+package mutguard
+
+import "sync"
+
+type shard struct {
+	mu      sync.Mutex
+	count   int   //ring:guarded mu
+	retired []int //ring:guarded mu
+	name    string
+}
+
+// bare writes without the lock are flagged.
+func bare(s *shard) {
+	s.count++ // want `write to guarded field count without holding mu \(take mu\.Lock\(\) first, or mark the function //ring:locked mu\)`
+}
+
+// locked takes the mutex first; both writes are legal.
+func locked(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.retired = append(s.retired, 1)
+}
+
+// unguarded fields need no lock.
+func unguarded(s *shard) {
+	s.name = "x"
+}
+
+// indexed writes unwrap to the guarded field.
+func indexed(s *shard, i, v int) {
+	s.retired[i] = v // want `write to guarded field retired without holding mu`
+}
+
+// incLocked documents the caller-holds-mu contract: its own write is
+// legal, and every call site is checked instead.
+//
+//ring:locked mu
+func incLocked(s *shard) {
+	s.count++
+}
+
+// callsBare calls a locked function without the mutex.
+func callsBare(s *shard) {
+	incLocked(s) // want `call to incLocked requires holding mu \(//ring:locked mu\)`
+}
+
+// callsHeld takes the mutex before the locked call.
+func callsHeld(s *shard) {
+	s.mu.Lock()
+	incLocked(s)
+	s.mu.Unlock()
+}
+
+// allowWins documents a single-writer exception.
+func allowWins(s *shard) {
+	s.count++ //ring:allow fixture: single-writer setup phase, not yet published
+}
+
+type stats struct {
+	mu   sync.RWMutex
+	hits int //ring:guarded mu
+}
+
+// rlocked demonstrates RLock satisfying the guard (the reader-side
+// publication pattern uses an RWMutex).
+func rlocked(st *stats) {
+	st.mu.RLock()
+	st.hits++
+	st.mu.RUnlock()
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the vet.cfg JSON that cmd/go writes for each
+// package when driving a -vettool. Field names must match cmd/go's
+// (see src/cmd/go/internal/work/exec.go, vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	ModulePath                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is cmd/ringvet's entry point. It implements both halves of the
+// tool's interface:
+//
+//   - the cmd/go vettool protocol: `ringvet -V=full`, `ringvet
+//     -flags`, and `ringvet <dir>/vet.cfg`, which `go vet
+//     -vettool=ringvet ./...` drives once per package in dependency
+//     order, threading facts through .vetx files;
+//   - a standalone mode: `ringvet [packages]` loads the module via
+//     `go list` and analyzes it in-process (useful without the go
+//     vet harness: `ringvet ./...`).
+//
+// It returns the process exit code: 0 clean, 2 diagnostics, 1 error.
+func Main(args []string) int {
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			// cmd/go hashes this line into its build cache key.
+			printVersion()
+			return 0
+		case args[0] == "-flags":
+			// No tool flags: cmd/go will pass none through.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVettool(args[0])
+		}
+	}
+	dir := "."
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		return 1
+	}
+	diags, _, err := Run(pkgs, Analyzers, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion emulates x/tools unitchecker's -V=full response: the
+// name plus a content hash of the executable, so rebuilding ringvet
+// invalidates go vet's cached results.
+func printVersion() {
+	name := "ringvet"
+	if exe, err := os.Executable(); err == nil {
+		name = filepath.Base(exe)
+		if data, err := os.ReadFile(exe); err == nil {
+			fmt.Printf("%s version devel buildID=%x\n", name, sha256.Sum256(data))
+			return
+		}
+	}
+	fmt.Printf("%s version devel\n", name)
+}
+
+// runVettool analyzes the single package described by cfgPath.
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		return 1
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Out-of-module packages (standard library, any future vendored
+	// code) carry no //ring: annotations and export no facts: write an
+	// empty vetx and move on. This short-circuits the ~200 stdlib
+	// packages go vet schedules before ours.
+	if cfg.ModulePath == "" {
+		if err := writeVetx(cfg.VetxOutput, FactSet{}); err != nil {
+			fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Seed facts with every dependency's vetx. Each file holds the
+	// exporter's transitive closure, so direct deps suffice.
+	seed := FactSet{}
+	for _, file := range cfg.PackageVetx {
+		fs, err := readVetx(file)
+		if err != nil {
+			// A dependency may have produced no vetx (missing outputs
+			// are tolerated by cmd/go); treat it as empty.
+			continue
+		}
+		for p, pf := range fs {
+			seed[p] = pf
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if filepath.IsAbs(f) {
+			files = append(files, f)
+		} else {
+			files = append(files, filepath.Join(cfg.Dir, f))
+		}
+	}
+	pkg, err := typecheck(fset, cfg.ImportPath, cfg.ModulePath, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		return 1
+	}
+
+	diags, facts, err := Run([]*Package{pkg}, Analyzers, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// ---- vetx fact files ----
+
+func writeVetx(path string, facts FactSet) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(facts); err != nil {
+		f.Close()
+		return fmt.Errorf("encoding %s: %v", path, err)
+	}
+	return f.Close()
+}
+
+func readVetx(path string) (FactSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fs := FactSet{}
+	if err := gob.NewDecoder(f).Decode(&fs); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("decoding %s: %v", path, err)
+	}
+	return fs, nil
+}

@@ -31,14 +31,14 @@ import "sync"
 // MMU. Remote members post under the lock; the owner drains it.
 type pendingShootdowns struct {
 	mu     sync.Mutex
-	segnos []uint32
+	segnos []uint32 //ring:guarded mu
 }
 
 // Group is a set of MMUs sharing core memory and therefore obliged to
 // keep their associative memories coherent.
 type Group struct {
 	mu      sync.Mutex
-	members []*MMU
+	members []*MMU //ring:guarded mu
 }
 
 // NewGroup returns an empty coherence group.

@@ -281,6 +281,8 @@ func (u *MMU) CacheStats() CacheStats { return u.stats }
 // return is a physical memory fault (simulator integrity problem),
 // never an access issue — absent segments come back with Present false
 // and the caller raises the architectural trap.
+//
+//ring:hotpath
 func (u *MMU) FetchSDW(segno uint32) (seg.SDW, error) {
 	if u.source != nil {
 		// A snapshot lookup is as cheap as an associative hit: no
@@ -448,6 +450,8 @@ func init() {
 
 // traceValidateKind records one validation outcome using the
 // precomputed detail tables; what is one of traceRead/Write/Transfer.
+//
+//ring:hotpath
 func (u *MMU) traceValidateKind(what int, ring core.Ring, segno, wordno uint32, kind core.ViolationKind) {
 	detail := traceOK[what]
 	if kind != core.ViolationNone && int(kind) < len(traceViol[what]) {
@@ -476,6 +480,8 @@ func (u *MMU) traceValidate(what int, ring core.Ring, segno, wordno uint32, viol
 // AccessView validates one reference of the given kind against an
 // already-fetched view, allocation-free. Callers that do not hold the
 // view use Access, which performs the SDW fetch too.
+//
+//ring:hotpath
 func (u *MMU) AccessView(v core.SDWView, segno, wordno uint32, ring core.Ring, kind core.AccessKind) core.ViolationKind {
 	*u.cycles += u.opt.Costs.Validate
 	if !u.opt.Validate {
@@ -503,6 +509,8 @@ func (u *MMU) AccessView(v core.SDWView, segno, wordno uint32, ring core.Ring, k
 // associative memory, then the kind's bracket check — without
 // allocating. ring is the effective ring for read/write and the ring of
 // execution for execute.
+//
+//ring:hotpath
 func (u *MMU) Access(segno, wordno uint32, ring core.Ring, kind core.AccessKind) (core.ViolationKind, error) {
 	sdw, err := u.FetchSDW(segno)
 	if err != nil {
@@ -514,6 +522,8 @@ func (u *MMU) Access(segno, wordno uint32, ring core.Ring, kind core.AccessKind)
 // Call evaluates the CALL decision of Figure 8 end to end, allocation-
 // free: SDW retrieval, then core.CallCheck under the same ablation rule
 // as DecideCall.
+//
+//ring:hotpath
 func (u *MMU) Call(segno, wordno uint32, execRing, effRing core.Ring, sameSegment bool) (core.CallDecision, core.ViolationKind, error) {
 	sdw, err := u.FetchSDW(segno)
 	if err != nil {
@@ -532,6 +542,8 @@ func (u *MMU) Call(segno, wordno uint32, execRing, effRing core.Ring, sameSegmen
 
 // Return evaluates the RETURN decision of Figure 9 end to end,
 // allocation-free, under the same ablation rule as DecideReturn.
+//
+//ring:hotpath
 func (u *MMU) Return(segno, wordno uint32, execRing, effRing core.Ring) (core.ReturnDecision, core.ViolationKind, error) {
 	sdw, err := u.FetchSDW(segno)
 	if err != nil {

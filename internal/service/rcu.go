@@ -117,6 +117,9 @@ type reader struct {
 // see the file comment for why that ordering makes reclamation safe.
 // No locks, no allocations: two atomic operations on first use per
 // shard per batch, a plain slice read afterwards.
+//
+//ring:hotpath
+//ring:pins
 func (r *reader) pin(sh int) *snapshot {
 	if s := r.views[sh]; s != nil {
 		return s
@@ -131,6 +134,8 @@ func (r *reader) pin(sh int) *snapshot {
 
 // unpin ends the batch: drop every pinned view and zero the
 // announcement slots so mutators can reclaim past snapshots.
+//
+//ring:hotpath
 func (r *reader) unpin() {
 	for i := range r.views {
 		if r.views[i] == nil {
@@ -144,6 +149,9 @@ func (r *reader) unpin() {
 // pinSum pins every shard in mask (a bit per shard index) and returns
 // the sum of the pinned epochs — the store-wide version analogue for
 // effring chains spanning several shards.
+//
+//ring:hotpath
+//ring:pins
 func (r *reader) pinSum(mask uint64) uint64 {
 	var sum uint64
 	for mask != 0 {
@@ -159,6 +167,9 @@ func (r *reader) pinSum(mask uint64) uint64 {
 // batch has not yet, and index the immutable SDW table. Segment
 // numbers beyond the table (or the architectural maximum) are absent,
 // matching seg.Table.Fetch.
+//
+//ring:hotpath
+//ring:pins
 func (r *reader) LookupSDW(segno uint32) (seg.SDW, error) {
 	r.lookups++
 	if segno > seg.MaxSegno {
@@ -212,6 +223,8 @@ func (st *Store) releaseReader(r *reader) {
 // the predecessor and attempts reclamation. Caller holds sh.mu with
 // the shard epoch odd; epoch is the closing (even) epoch the new
 // snapshot is stamped with.
+//
+//ring:locked mu
 func (st *Store) publishLocked(shi int, segno uint32, epoch uint64) error {
 	sh := &st.shards[shi]
 	old := sh.snap.Load()
@@ -250,6 +263,8 @@ func (st *Store) publishLocked(shi int, segno uint32, epoch uint64) error {
 // of retired snapshots of shard index shi whose grace period has
 // passed: every reader is quiescent in this shard or has announced an
 // epoch at or beyond the snapshot's retirement. Caller holds sh.mu.
+//
+//ring:locked mu
 func (st *Store) reclaimLocked(shi int) {
 	sh := &st.shards[shi]
 	if len(sh.retired) == 0 {
@@ -280,6 +295,8 @@ func (st *Store) reclaimLocked(shi int) {
 
 // takeBufLocked returns an SDW buffer of length n, reusing the shard
 // free list when possible. Caller holds sh.mu.
+//
+//ring:locked mu
 func (sh *shard) takeBufLocked(n int) []seg.SDW {
 	if len(sh.free) > 0 {
 		buf := sh.free[len(sh.free)-1]
@@ -294,6 +311,8 @@ func (sh *shard) takeBufLocked(n int) []seg.SDW {
 // putBufLocked returns a reclaimed buffer to the shard free list, or
 // drops it to the garbage collector when the list is full. Caller
 // holds sh.mu.
+//
+//ring:locked mu
 func (sh *shard) putBufLocked(buf []seg.SDW) {
 	if len(sh.free) < freeListCap {
 		sh.free = append(sh.free, buf)

@@ -161,7 +161,7 @@ type worker struct {
 	// out after every batch so /metrics can read them without racing
 	// the owner goroutine.
 	statsMu   sync.Mutex
-	published ReaderSnapshot
+	published ReaderSnapshot //ring:guarded statsMu
 }
 
 // Service is the concurrent protection-decision engine: a worker pool
@@ -176,7 +176,7 @@ type Service struct {
 	batchPool sync.Pool
 
 	mu     sync.RWMutex // guards closed vs. queue sends
-	closed bool
+	closed bool         //ring:guarded mu
 	wg     sync.WaitGroup
 
 	// hold, when non-nil (tests), blocks each worker before every batch
@@ -259,11 +259,15 @@ func (s *Service) Submit(ctx context.Context, queries []Query) ([]Decision, erro
 // writes into dst and signals the (buffered) reply channel, so nothing
 // blocks, but the caller must treat dst as poisoned — discard it
 // rather than passing it to another in-flight call.
+//
+//ring:hotpath
 func (s *Service) SubmitInto(ctx context.Context, queries []Query, dst []Decision) error {
 	if len(queries) > s.cfg.BatchLimit {
+		//ring:allow rejected-batch path: the error itself is the allocation
 		return fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(queries), s.cfg.BatchLimit)
 	}
 	if len(dst) < len(queries) {
+		//ring:allow caller-bug path: the error itself is the allocation
 		return fmt.Errorf("service: destination holds %d decisions for %d queries", len(dst), len(queries))
 	}
 	b := s.batchPool.Get().(*batch)
@@ -297,6 +301,8 @@ func (s *Service) SubmitInto(ctx context.Context, queries []Query, dst []Decisio
 }
 
 // putBatch drops a descriptor's references and returns it to the pool.
+//
+//ring:hotpath
 func (s *Service) putBatch(b *batch) {
 	b.queries, b.dst = nil, nil
 	s.batchPool.Put(b)
@@ -323,6 +329,10 @@ func (s *Service) Close() {
 }
 
 // run is one worker's loop: drain batches until the queue closes.
+// The loop body between taking a batch and signalling its reply is the
+// decision hot path.
+//
+//ring:hotpath
 func (s *Service) run(w *worker) {
 	defer s.wg.Done()
 	for b := range s.queue {
@@ -346,6 +356,9 @@ func (s *Service) run(w *worker) {
 
 // decide evaluates one query on worker w into d, in place and without
 // allocating (for well-formed queries).
+//
+//ring:hotpath
+//ring:pins
 func (s *Service) decide(w *worker, q *Query, d *Decision) {
 	*d = Decision{Worker: w.index}
 	evalQuery(s.store, w.rd, w.u, q, d)
@@ -356,6 +369,9 @@ func (s *Service) decide(w *worker, q *Query, d *Decision) {
 // sh: the pinned snapshot's publication epoch when reading through a
 // reader (always even — a clean snapshot), the live shard epoch for
 // oracle replays with rd == nil.
+//
+//ring:hotpath
+//ring:pins
 func intervalLo(st *Store, rd *reader, sh int) uint64 {
 	if rd != nil {
 		return rd.pin(sh).epoch
@@ -366,6 +382,8 @@ func intervalLo(st *Store, rd *reader, sh int) uint64 {
 // intervalHi closes the interval opened by intervalLo: the pinned
 // snapshot cannot change within a batch, so the reader form is
 // degenerate (Hi == Lo); oracle replays re-read the live epoch.
+//
+//ring:hotpath
 func intervalHi(st *Store, rd *reader, sh int, lo uint64) uint64 {
 	if rd != nil {
 		return lo
@@ -381,18 +399,23 @@ func intervalHi(st *Store, rd *reader, sh int, lo uint64) uint64 {
 // differential test). Malformed queries set d.Err and report no epoch
 // interval; architectural outcomes (violations, traps) are regular
 // decisions stamped with the consulted shard's snapshot epoch.
+//
+//ring:hotpath
+//ring:pins
 func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 	d.Shard = -1
 	segno := q.Segno
 	if q.Segment != "" {
 		n, ok := st.Segno(q.Segment)
 		if !ok {
+			//ring:allow malformed query: Err formatting is the cold path
 			d.Err = fmt.Sprintf("unknown segment %q", q.Segment)
 			return
 		}
 		segno = n
 	}
 	if !q.Ring.Valid() {
+		//ring:allow malformed query: Err formatting is the cold path
 		d.Err = fmt.Sprintf("invalid ring %d", q.Ring)
 		return
 	}
@@ -402,6 +425,7 @@ func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 		switch q.Kind {
 		case core.AccessRead, core.AccessWrite, core.AccessExecute:
 		default:
+			//ring:allow malformed query: Err formatting is the cold path
 			d.Err = fmt.Sprintf("invalid access kind %d", q.Kind)
 			return
 		}
@@ -422,6 +446,7 @@ func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 			effRing = *q.EffRing
 		}
 		if !effRing.Valid() {
+			//ring:allow malformed query: Err formatting is the cold path
 			d.Err = fmt.Sprintf("invalid effective ring %d", effRing)
 			return
 		}
@@ -449,6 +474,7 @@ func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 			effRing = *q.EffRing
 		}
 		if !effRing.Valid() {
+			//ring:allow malformed query: Err formatting is the cold path
 			d.Err = fmt.Sprintf("invalid effective ring %d", effRing)
 			return
 		}
@@ -483,6 +509,7 @@ func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 		for i := range q.Chain {
 			step := &q.Chain[i]
 			if !step.Ring.Valid() {
+				//ring:allow malformed query: Err formatting is the cold path
 				d.Err = fmt.Sprintf("invalid ring %d in chain", step.Ring)
 				return
 			}
@@ -530,6 +557,7 @@ func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 		d.NewRing = eff
 
 	default:
+		//ring:allow malformed query: Err formatting is the cold path
 		d.Err = fmt.Sprintf("unknown op %q", q.Op)
 	}
 }
@@ -538,6 +566,9 @@ func evalQuery(st *Store, rd *reader, u *mmu.MMU, q *Query, d *Decision) {
 // single shard: through a reader, the sum of the pinned snapshot
 // epochs of the consulted shards; for oracle replays or chains with no
 // indirect steps, the live store-wide Version sum.
+//
+//ring:hotpath
+//ring:pins
 func chainLo(st *Store, rd *reader, mask uint64) uint64 {
 	if rd != nil && mask != 0 {
 		return rd.pinSum(mask)
@@ -547,6 +578,8 @@ func chainLo(st *Store, rd *reader, mask uint64) uint64 {
 
 // chainHi closes an effring chain's interval: degenerate for pinned
 // snapshot reads, a live re-read for oracle replays.
+//
+//ring:hotpath
 func chainHi(st *Store, rd *reader, sh int, mask uint64, lo uint64) uint64 {
 	if sh >= 0 {
 		return intervalHi(st, rd, sh, lo)
@@ -560,6 +593,8 @@ func chainHi(st *Store, rd *reader, sh int, mask uint64, lo uint64) uint64 {
 // setViolationKind fills the violation fields (allowed when kind is
 // ViolationNone). ViolationKind.String returns an interned constant,
 // so denial decisions allocate nothing either.
+//
+//ring:hotpath
 func (d *Decision) setViolationKind(kind core.ViolationKind) {
 	if kind == core.ViolationNone {
 		d.Allowed = true

@@ -127,8 +127,8 @@ type shard struct {
 	// retired holds predecessors awaiting their grace period; free
 	// holds reclaimed SDW buffers for reuse. Both under mu, both
 	// bounded (rcu.go).
-	retired []*snapshot
-	free    [][]seg.SDW
+	retired []*snapshot //ring:guarded mu
+	free    [][]seg.SDW //ring:guarded mu
 	stats   shardRCUStats
 }
 
@@ -285,6 +285,8 @@ func (st *Store) newSnapshotMMU(opt mmu.Options, rd *reader) *mmu.MMU {
 }
 
 // Segno resolves a segment name.
+//
+//ring:hotpath
 func (st *Store) Segno(name string) (uint32, bool) {
 	n, ok := st.names[name]
 	return n, ok
@@ -300,6 +302,8 @@ func (st *Store) MaxSegments() uint32 { return st.dbr.Bound }
 func (st *Store) Shards() int { return len(st.shards) }
 
 // ShardOf returns the index of the shard owning segno's descriptor.
+//
+//ring:hotpath
 func (st *Store) ShardOf(segno uint32) int { return int(segno & st.shardMask) }
 
 // shardFor returns the shard owning segno's descriptor.
@@ -308,6 +312,8 @@ func (st *Store) shardFor(segno uint32) *shard { return &st.shards[segno&st.shar
 // ShardVersion returns shard i's mutation epoch: odd while an edit of
 // one of its descriptors is in flight, even when quiescent.
 // ShardVersion(i)/2 is the number of completed mutations in shard i.
+//
+//ring:hotpath
 func (st *Store) ShardVersion(i int) uint64 { return st.shards[i].epoch.Load() }
 
 // Version returns the store-wide mutation activity counter: the sum of
@@ -315,6 +321,8 @@ func (st *Store) ShardVersion(i int) uint64 { return st.shards[i].epoch.Load() }
 // completed mutations when the store is quiescent, and is odd exactly
 // when an odd number of edits are in flight. Per-shard clean-snapshot
 // reasoning uses ShardVersion instead.
+//
+//ring:hotpath
 func (st *Store) Version() uint64 {
 	var sum uint64
 	for i := range st.shards {

@@ -186,6 +186,8 @@ func (t *Tenant) DeniedMutations() uint64 { return t.deniedMutations.Load() }
 
 // checkable returns nil when the tenant serves decisions in its
 // current state, or the rejection error.
+//
+//ring:hotpath
 func (t *Tenant) checkable() error {
 	switch t.State() {
 	case StateActive, StateSealed:
@@ -204,6 +206,8 @@ func (t *Tenant) checkable() error {
 // guards the tenant lifecycle; beyond that the call is exactly the
 // zero-allocation service.SubmitInto hot path, so the per-tenant check
 // path stays 0 allocs/op (gated by TestTenantCheckZeroAlloc).
+//
+//ring:hotpath
 func (t *Tenant) SubmitInto(ctx context.Context, queries []service.Query, dst []service.Decision) error {
 	if err := t.checkable(); err != nil {
 		return err
@@ -245,10 +249,10 @@ type Registry struct {
 	cfg Config
 
 	mu           sync.RWMutex
-	tenants      map[string]*Tenant
-	order        []string // load order, for stable listings
-	workersInUse int
-	evictions    uint64 // completed evictions (under mu)
+	tenants      map[string]*Tenant //ring:guarded mu
+	order        []string           //ring:guarded mu (load order, for stable listings)
+	workersInUse int                //ring:guarded mu
+	evictions    uint64             //ring:guarded mu (completed evictions)
 }
 
 // DefaultTenant is the name the single-tenant endpoints (/v1/check,

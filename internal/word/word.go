@@ -58,6 +58,7 @@ func (w Word) Int64() int64 {
 // bad extent is a programming error, not a runtime condition.
 func (w Word) Field(lo, width uint) uint64 {
 	if lo+width > Bits {
+		//ring:allow panic on compile-time-constant layout bug, never taken at run time
 		panic(fmt.Sprintf("word: field [%d,%d) exceeds %d bits", lo, lo+width, Bits))
 	}
 	return (uint64(w) >> lo) & ((1 << width) - 1)

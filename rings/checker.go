@@ -134,6 +134,8 @@ func (c *Checker) Check(queries ...Query) ([]Decision, error) {
 // len(queries) elements). With the service's descriptor pool warm this
 // round trip performs no heap allocation — the form load generators
 // and embedders on a hot path should use.
+//
+//ring:hotpath
 func (c *Checker) CheckInto(queries []Query, dst []Decision) error {
 	return c.svc.SubmitInto(context.Background(), queries, dst)
 }
