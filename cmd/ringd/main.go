@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	ringd [-addr :8642] [-workers 4] [-queue 64]
+//	ringd [-addr :8642] [-listen-wire :8643] [-workers 4] [-queue 64]
 //	      [-batch 1024] [-shards 8] [-image image.json]
 //	      [-max-tenants 16] [-worker-budget 64] [-image-dir dir]
 //
@@ -29,6 +29,13 @@
 //	POST /v1/mutate   | single-tenant compatibility surface: the
 //	GET  /healthz     | tenant named "default", wire format unchanged
 //	GET  /metrics    /
+//
+// With -listen-wire, a second TCP listener serves the binary streaming
+// protocol (internal/wire): one persistent connection per client,
+// pipelined length-prefixed decision batches with client-assigned
+// correlation IDs, the same tenant semantics as /v1/t/{name} (a session
+// binds its tenant at the Hello handshake; seal/drain races answer
+// 409-equivalent error frames). See DESIGN.md "Wire protocol".
 //
 // The startup image (the -image file, or a built-in demonstration
 // image) is loaded as the tenant named "default". Image files are JSON
@@ -54,16 +61,19 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/tenant"
+	"repro/internal/wire"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// Test hooks: when non-nil, testHookReady receives the bound listen
-// address once serving, and closing testHookShutdown triggers the same
-// graceful drain a signal would.
+// Test hooks: when non-nil, testHookReady receives the bound HTTP
+// listen address (and testHookWireReady the bound wire address) once
+// serving, and closing testHookShutdown triggers the same graceful
+// drain a signal would.
 var (
-	testHookReady    chan<- string
-	testHookShutdown <-chan struct{}
+	testHookReady     chan<- string
+	testHookWireReady chan<- string
+	testHookShutdown  <-chan struct{}
 )
 
 // loadImage reads a JSON image file, or returns the demo image for an
@@ -80,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8642", "listen address")
+	wireAddr := fs.String("listen-wire", "", "TCP address for the binary streaming protocol (disabled when empty)")
 	workers := fs.Int("workers", 4, "default tenant's decision workers, one snapshot-reading MMU each")
 	queue := fs.Int("queue", 64, "bounded batch-queue depth per tenant (full queue answers 429)")
 	batchLimit := fs.Int("batch", 1024, "maximum queries per batch")
@@ -129,6 +140,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// The wire listener shares the registry, so both transports answer
+	// from the same descriptor snapshots.
+	var ws *wire.Server
+	wireErr := make(chan error, 1)
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringd:", err)
+			h.Close()
+			return 1
+		}
+		ws = wire.NewServer(reg, wire.Config{})
+		go func() { wireErr <- ws.Serve(wln) }()
+		fmt.Fprintf(stdout, "ringd: wire protocol v%d on %s\n", wire.Version, wln.Addr())
+		if testHookWireReady != nil {
+			testHookWireReady <- wln.Addr().String()
+		}
+	}
+
 	fmt.Fprintf(stdout, "ringd: serving image %q (%d segments) on %s (%d workers, queue %d, %d shards; up to %d tenants over %d workers)\n",
 		def.Name(), len(defs), ln.Addr(), def.Service().Workers(), def.Service().QueueDepth(),
 		def.Store().Shards(), *maxTenants, *workerBudget)
@@ -145,18 +175,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringd:", err)
 		h.Close()
 		return 1
+	case err := <-wireErr:
+		fmt.Fprintln(stderr, "ringd:", err)
+		h.Close()
+		return 1
 	case s := <-sig:
 		fmt.Fprintf(stdout, "ringd: %v: draining %d tenants\n", s, reg.Len())
 	case <-testHookShutdown:
 		fmt.Fprintf(stdout, "ringd: shutdown requested: draining %d tenants\n", reg.Len())
 	}
 
-	// Graceful shutdown: stop accepting, finish in-flight HTTP requests,
-	// then drain every tenant's decision queue.
+	// Graceful shutdown: stop accepting, finish in-flight HTTP requests
+	// and drain wire sessions (accepted batches complete, each session
+	// ends with a GoAway), then drain every tenant's decision queue.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintln(stderr, "ringd: shutdown:", err)
+	}
+	if ws != nil {
+		if err := ws.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "ringd: wire shutdown:", err)
+		}
 	}
 	h.Close()
 	fmt.Fprintln(stdout, "ringd: drained, exiting")

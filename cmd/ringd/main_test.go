@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/rings"
 )
 
 func TestLoadImageDefault(t *testing.T) {
@@ -453,4 +455,81 @@ func postStatus(t *testing.T, url, body string) int {
 	var sink bytes.Buffer
 	sink.ReadFrom(resp.Body)
 	return resp.StatusCode
+}
+
+// TestRunWireListener boots the daemon with both listeners and drives
+// the binary streaming protocol end to end through rings.DialRemote:
+// health, decisions consistent with the demo image, a mutation, and a
+// graceful drain with the session still open.
+func TestRunWireListener(t *testing.T) {
+	ready := make(chan string, 1)
+	wireReady := make(chan string, 1)
+	shutdown := make(chan struct{})
+	testHookReady = ready
+	testHookWireReady = wireReady
+	testHookShutdown = shutdown
+	defer func() { testHookReady = nil; testHookWireReady = nil; testHookShutdown = nil }()
+
+	var out, errOut bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-listen-wire", "127.0.0.1:0", "-workers", "2"}, &out, &errOut)
+	}()
+	var wireAddr string
+	select {
+	case wireAddr = <-wireReady:
+	case <-time.After(10 * time.Second):
+		t.Fatal("wire listener did not come up")
+	}
+	<-ready // let the HTTP hook drain so the daemon reaches its select
+
+	rc, err := rings.DialRemote(wireAddr, rings.RemoteConfig{})
+	if err != nil {
+		t.Fatalf("DialRemote: %v", err)
+	}
+	defer rc.Close()
+
+	h, err := rc.Health()
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Workers != 2 || h.Segments == 0 {
+		t.Errorf("health = %+v", h)
+	}
+
+	// Same semantics TestRunServeAndShutdown checks over HTTP: a
+	// user-ring read of user_data passes, sys_data hits the bracket,
+	// and a supervisor call goes downward to ring 0.
+	ds, err := rc.Check(
+		rings.Query{Op: rings.OpAccess, Ring: 5, Segment: "user_data", Kind: rings.AccessRead},
+		rings.Query{Op: rings.OpAccess, Ring: 5, Segment: "sys_data", Kind: rings.AccessRead},
+		rings.Query{Op: rings.OpCall, Ring: 5, Segment: "supervisor", Wordno: 3},
+	)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !ds[0].Allowed || ds[1].Allowed {
+		t.Errorf("decisions: %+v", ds[:2])
+	}
+	if ds[2].Outcome != "downward call" || ds[2].NewRing != 0 {
+		t.Errorf("supervisor call: %+v", ds[2])
+	}
+
+	close(shutdown)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain with a wire session open")
+	}
+	if !strings.Contains(out.String(), "wire protocol v") {
+		t.Errorf("stdout %q lacks wire startup line", out.String())
+	}
+
+	// The drained server must refuse further work on this session.
+	if _, err := rc.Check(rings.Query{Op: rings.OpAccess, Ring: 5, Segment: "user_data", Kind: rings.AccessRead}); err == nil {
+		t.Error("check after drain: want error")
+	}
 }

@@ -12,14 +12,18 @@
 //	         [-workers 4] [-shards 0] [-queue 0]
 //	         [-mutators 1] [-seed 1] [-sweep 1,2,4,8]
 //	         [-sweep-workers 1,2,4] [-tenants 1]
-//	         [-target http://host:8642] [-json]
+//	         [-target http://host:8642] [-transport http]
+//	         [-compare-transports] [-json]
 //
 // Each of the -c clients owns one pre-generated query batch pool and
 // one reusable decision buffer, and loops: submit, record the batch
 // latency, repeat — a closed loop, so offered load adapts to service
 // capacity. In-process mode drives Checker.CheckInto (the
-// zero-allocation path); -target mode POSTs the same batches to
-// ringd's /v1/check. -mutators adds supervisor goroutines streaming
+// zero-allocation path); -target mode replays the same batches against
+// a running ringd — POSTing JSON to /v1/check by default, or (with
+// -transport wire) pipelining binary frames down one persistent
+// streaming session shared by every client, the correlation-ID path
+// ringd serves on -listen-wire. -mutators adds supervisor goroutines streaming
 // SetBrackets edits through the store's snapshot-publish path while
 // decisions run (in-process only). -sweep repeats the whole run across
 // several descriptor-store shard counts and -sweep-workers across
@@ -36,6 +40,13 @@
 // hold it near 1.0 while the hot tenants saturate their quotas and
 // shed.
 //
+// -compare-transports (in-process) runs the T16 transport experiment:
+// one registry serves the demo image simultaneously over a loopback
+// HTTP listener and a loopback wire listener; the same client count
+// and batch pools drive first the JSON transport, then the binary
+// streaming transport, and the headline metrics are the throughput
+// speedup and p99 ratio of wire over HTTP at equal worker count.
+//
 // With -json, results are emitted as a JSON array in the same shape as
 // ringbench -json (id, title, host_ns, metrics, lines), so the two
 // artifacts can feed the same dashboards.
@@ -51,6 +62,7 @@ import (
 	"io"
 	"math/bits"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -61,6 +73,7 @@ import (
 	"time"
 
 	"repro/internal/tenant"
+	"repro/internal/wire"
 	"repro/rings"
 )
 
@@ -81,6 +94,8 @@ type config struct {
 	sweepWorkers []int
 	tenants      int
 	target       string
+	transport    string
+	compare      bool
 	jsonOut      bool
 }
 
@@ -402,6 +417,140 @@ func (d *httpDriver) submit(_ int, batch []rings.Query, dst []rings.Decision) (b
 }
 
 func (d *httpDriver) close() {}
+
+// wireDriver replays the batches over ONE binary streaming session
+// shared by every client goroutine: concurrent submits pipeline down
+// the persistent connection and complete out of order by correlation
+// ID — the transport shape -listen-wire exists for. (Per-client
+// sessions would measure connection fan-out, not streaming.)
+type wireDriver struct{ rc *rings.RemoteChecker }
+
+func dialWireDriver(target string) (*wireDriver, uint32, error) {
+	rc, err := rings.DialRemote(target, rings.RemoteConfig{Transport: "wire"})
+	if err != nil {
+		return nil, 0, err
+	}
+	h, err := rc.Health()
+	if err != nil {
+		rc.Close()
+		return nil, 0, err
+	}
+	if h.Segments <= 0 {
+		rc.Close()
+		return nil, 0, fmt.Errorf("target unhealthy: %+v", h)
+	}
+	return &wireDriver{rc: rc}, uint32(h.Segments), nil
+}
+
+func (d *wireDriver) submit(_ int, batch []rings.Query, dst []rings.Decision) (bool, error) {
+	err := d.rc.CheckInto(batch, dst)
+	if errors.Is(err, rings.ErrQueueFull) {
+		return true, nil
+	}
+	return false, err
+}
+
+func (d *wireDriver) close() { d.rc.Close() }
+
+// ---- T16: transport comparison ----
+
+// runT16 serves one registry over both transports on loopback
+// listeners and measures the same closed-loop trial over each: the
+// JSON-vs-binary delta at equal worker count.
+func runT16(cfg config) ([]jsonResult, error) {
+	reg := tenant.NewRegistry(tenant.Config{
+		MaxTenants:   1,
+		WorkerBudget: cfg.workers,
+	})
+	segs := loadImage()
+	if _, err := reg.Load(tenant.DefaultTenant, segs, tenant.TenantConfig{
+		Workers: cfg.workers, QueueDepth: cfg.queue, Shards: cfg.shards,
+	}); err != nil {
+		return nil, err
+	}
+	h := tenant.NewHandler(reg, tenant.HandlerOptions{})
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(hln)
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hs.Close()
+		h.Close()
+		return nil, err
+	}
+	ws := wire.NewServer(reg, wire.Config{})
+	go ws.Serve(wln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		ws.Shutdown(ctx)
+		h.Close()
+	}()
+
+	cfg.mutators = 0 // both transports drive decisions only
+	pools := genBatches(cfg, uint32(len(segs)))
+
+	httpRes, err := runTrial(cfg, newHTTPDriver("http://"+hln.Addr().String()), nil, pools)
+	if err != nil {
+		return nil, err
+	}
+	wd, _, err := dialWireDriver(wln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	wireRes, err := runTrial(cfg, wd, nil, pools)
+	wd.close()
+	if err != nil {
+		return nil, err
+	}
+
+	httpReport := report(cfg, httpRes, "http")
+	httpReport.ID = "RINGLOAD-T16-HTTP"
+	httpReport.Title = "transport comparison: HTTP/JSON request-response"
+	wireReport := report(cfg, wireRes, "wire")
+	wireReport.ID = "RINGLOAD-T16-WIRE"
+	wireReport.Title = "transport comparison: binary streaming session"
+
+	speedup := 0.0
+	if t := httpRes.throughput(); t > 0 {
+		speedup = wireRes.throughput() / t
+	}
+	p99Ratio := 0.0
+	if p := httpRes.lat.quantile(0.99); p > 0 {
+		p99Ratio = float64(wireRes.lat.quantile(0.99)) / float64(p)
+	}
+	delta := jsonResult{
+		ID:     "RINGLOAD-T16",
+		Title:  "transport comparison: binary streaming vs HTTP/JSON delta",
+		HostNs: httpRes.elapsed.Nanoseconds() + wireRes.elapsed.Nanoseconds(),
+		Metrics: map[string]float64{
+			"wire_speedup":           speedup,
+			"p99_ratio":              p99Ratio,
+			"http_decisions_per_sec": httpRes.throughput(),
+			"wire_decisions_per_sec": wireRes.throughput(),
+			"http_p99_ns":            float64(httpRes.lat.quantile(0.99)),
+			"wire_p99_ns":            float64(wireRes.lat.quantile(0.99)),
+			"clients":                float64(cfg.clients),
+			"batch":                  float64(cfg.batch),
+			"workers":                float64(cfg.workers),
+		},
+		Lines: []string{
+			fmt.Sprintf("%d clients x batch %d, %d workers, %v per transport",
+				cfg.clients, cfg.batch, cfg.workers, cfg.duration),
+			fmt.Sprintf("http: %.0f decisions/s, p99 %v", httpRes.throughput(),
+				time.Duration(httpRes.lat.quantile(0.99))),
+			fmt.Sprintf("wire: %.0f decisions/s, p99 %v (one session, pipelined)",
+				wireRes.throughput(), time.Duration(wireRes.lat.quantile(0.99))),
+			fmt.Sprintf("wire/http: %.2fx throughput, %.2fx p99", speedup, p99Ratio),
+		},
+	}
+	return []jsonResult{httpReport, wireReport, delta}, nil
+}
 
 // ---- T15: multi-tenant isolation ----
 
@@ -801,6 +950,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sweepWorkersFlag := fs.String("sweep-workers", "", "comma-separated worker counts to sweep (in-process; with -sweep, the cross product)")
 	tenants := fs.Int("tenants", 1, "tenants for the T15 isolation experiment (>= 2 enables it; in-process)")
 	target := fs.String("target", "", "ringd base URL; empty runs in-process")
+	transport := fs.String("transport", "http", "transport for -target mode: http (JSON request-response) or wire (binary streaming session)")
+	compare := fs.Bool("compare-transports", false, "run the T16 transport experiment in-process: same registry over HTTP and wire loopback listeners")
 	jsonOut := fs.Bool("json", false, "emit results as a ringbench-compatible JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -828,18 +979,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringload: -tenants is in-process only, not with -target")
 		return 1
 	}
+	if *transport != "http" && *transport != "wire" {
+		fmt.Fprintf(stderr, "ringload: -transport must be http or wire, got %q\n", *transport)
+		return 1
+	}
+	if *compare && *target != "" {
+		fmt.Fprintln(stderr, "ringload: -compare-transports is in-process only, not with -target")
+		return 1
+	}
+	if *compare && *tenants > 1 {
+		fmt.Fprintln(stderr, "ringload: -compare-transports and -tenants are separate experiments")
+		return 1
+	}
 	cfg := config{
 		clients: *clients, duration: *duration, batch: *batch, mix: m,
 		workers: *workers, shards: *shards, queue: *queue,
 		mutators: *mutators, seed: *seed, sweep: sweep, sweepWorkers: sweepWorkers,
-		tenants: *tenants, target: *target, jsonOut: *jsonOut,
+		tenants: *tenants, target: *target, transport: *transport,
+		compare: *compare, jsonOut: *jsonOut,
 	}
 
 	var results []jsonResult
 	switch {
 	case cfg.target != "":
-		d := newHTTPDriver(cfg.target)
-		segments, err := d.segments()
+		var d driver
+		var segments uint32
+		if cfg.transport == "wire" {
+			d, segments, err = dialWireDriver(cfg.target)
+		} else {
+			hd := newHTTPDriver(cfg.target)
+			segments, err = hd.segments()
+			d = hd
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "ringload:", err)
 			return 1
@@ -847,11 +1018,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.mutators = 0 // supervisor edits are in-process only
 		pools := genBatches(cfg, segments)
 		res, err := runTrial(cfg, d, nil, pools)
+		d.close()
 		if err != nil {
 			fmt.Fprintln(stderr, "ringload:", err)
 			return 1
 		}
-		results = append(results, report(cfg, res, "http"))
+		results = append(results, report(cfg, res, cfg.transport))
 	default:
 		// In-process sections compose: a sweep grid, the T15 tenant
 		// experiment, or (when neither is asked for) one plain trial —
@@ -892,6 +1064,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			results = append(results, t15...)
+			ran = true
+		}
+		if cfg.compare {
+			t16, err := runT16(cfg)
+			if err != nil {
+				fmt.Fprintln(stderr, "ringload:", err)
+				return 1
+			}
+			results = append(results, t16...)
 			ran = true
 		}
 		if !ran {

@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/service"
+	"repro/internal/tenant"
+	"repro/internal/wire"
 	"repro/rings"
 )
 
@@ -230,6 +235,93 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-sweep-workers", "0"},
 		{"-c", "0"},
 		{"-duration", "0s"},
+	} {
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("run(%v): want non-zero exit", args)
+		}
+	}
+}
+
+// TestRunWireTarget replays batches against a wire.Server over the
+// binary streaming transport and checks the closed loop measures real
+// decisions, mirroring TestRunHTTPTarget.
+func TestRunWireTarget(t *testing.T) {
+	reg := tenant.NewRegistry(tenant.Config{MaxTenants: 1, WorkerBudget: 2})
+	if _, err := reg.Load(tenant.DefaultTenant, loadImage(), tenant.TenantConfig{Workers: 2}); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ws := wire.NewServer(reg, wire.Config{})
+	go ws.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ws.Shutdown(ctx)
+		reg.Close()
+	}()
+
+	results := runJSON(t, "-c", "2", "-batch", "4", "-duration", "150ms",
+		"-target", ln.Addr().String(), "-transport", "wire")
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Metrics["decisions"] <= 0 {
+		t.Errorf("no decisions over the wire: %v", r.Metrics)
+	}
+	if r.Metrics["mutations"] != 0 {
+		t.Errorf("wire mode ran mutators: %v", r.Metrics)
+	}
+	if !strings.Contains(strings.Join(r.Lines, "\n"), "mode wire") {
+		t.Errorf("lines missing mode: %v", r.Lines)
+	}
+}
+
+// TestRunCompareTransports smoke-tests the T16 experiment: three
+// results (http, wire, delta) with the headline ratio metrics present
+// and consistent.
+func TestRunCompareTransports(t *testing.T) {
+	results := runJSON(t, "-c", "2", "-batch", "8", "-duration", "150ms",
+		"-workers", "2", "-compare-transports")
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	wantIDs := []string{"RINGLOAD-T16-HTTP", "RINGLOAD-T16-WIRE", "RINGLOAD-T16"}
+	for i, want := range wantIDs {
+		if results[i].ID != want {
+			t.Errorf("result %d: id %s, want %s", i, results[i].ID, want)
+		}
+	}
+	httpRes, wireRes, delta := results[0], results[1], results[2]
+	if httpRes.Metrics["decisions"] <= 0 || wireRes.Metrics["decisions"] <= 0 {
+		t.Fatalf("a transport measured no decisions: http %v, wire %v",
+			httpRes.Metrics, wireRes.Metrics)
+	}
+	for _, key := range []string{"wire_speedup", "p99_ratio", "http_decisions_per_sec", "wire_decisions_per_sec"} {
+		if _, ok := delta.Metrics[key]; !ok {
+			t.Errorf("delta metric %q missing: %v", key, delta.Metrics)
+		}
+	}
+	if delta.Metrics["wire_speedup"] <= 0 {
+		t.Errorf("wire_speedup = %v, want > 0", delta.Metrics["wire_speedup"])
+	}
+	wantRatio := wireRes.Metrics["decisions_per_sec"] / httpRes.Metrics["decisions_per_sec"]
+	if got := delta.Metrics["wire_speedup"]; got < wantRatio*0.99 || got > wantRatio*1.01 {
+		t.Errorf("wire_speedup = %v, inconsistent with per-transport metrics (%v)", got, wantRatio)
+	}
+}
+
+// TestRunRejectsBadTransportFlags pins the flag-validation edges the
+// transport work added.
+func TestRunRejectsBadTransportFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-transport", "telepathy"},
+		{"-compare-transports", "-target", "http://localhost:1"},
+		{"-compare-transports", "-tenants", "2"},
 	} {
 		if code := run(args, &out, &errOut); code == 0 {
 			t.Errorf("run(%v): want non-zero exit", args)

@@ -223,6 +223,14 @@ func (t *Tenant) Submit(ctx context.Context, queries []service.Query) ([]service
 	return t.svc.Submit(ctx, queries)
 }
 
+// Mutable returns nil when the tenant accepts supervisor mutations,
+// or the rejection error (ErrSealed, ErrDraining, ErrLoading,
+// ErrTenantNotFound); rejections are counted in DeniedMutations. Both
+// the HTTP mutate route and the binary wire protocol gate mutations
+// through it, so seal/drain races answer the same way on either
+// transport.
+func (t *Tenant) Mutable() error { return t.mutable() }
+
 // mutable returns nil when the tenant accepts supervisor mutations,
 // or the rejection error; rejections are counted.
 func (t *Tenant) mutable() error {

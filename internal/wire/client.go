@@ -1,0 +1,325 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ClientConfig configures Dial.
+type ClientConfig struct {
+	// Tenant is the tenant name the session binds to; "" means the
+	// daemon's default tenant.
+	Tenant string
+	// MinVersion/MaxVersion is the offered protocol range; both default
+	// to Version.
+	MinVersion uint16
+	MaxVersion uint16
+	// MaxFrame bounds response payloads; default DefaultMaxFrame.
+	MaxFrame uint32
+	// DialTimeout bounds connection establishment and the handshake;
+	// default 10s.
+	DialTimeout time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MinVersion == 0 {
+		c.MinVersion = Version
+	}
+	if c.MaxVersion == 0 {
+		c.MaxVersion = Version
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Client is one streaming wire session. It is safe for concurrent
+// use: calls from multiple goroutines pipeline on the single
+// connection, correlated by ID, and may complete out of order — the
+// intended way to keep every decision worker busy from one client
+// process.
+type Client struct {
+	conn    net.Conn
+	cfg     ClientConfig
+	welcome Welcome
+
+	wmu  sync.Mutex
+	wbuf []byte //ring:guarded wmu (request encode scratch)
+
+	mu       sync.Mutex
+	nextCorr uint64           //ring:guarded mu
+	pending  map[uint64]*call //ring:guarded mu
+	fatal    error            //ring:guarded mu
+
+	readerDone chan struct{}
+}
+
+// call is one request in flight.
+type call struct {
+	typ     FrameType // expected response type
+	dst     []service.Decision
+	version uint64
+	health  Health
+	err     error
+	done    chan struct{}
+}
+
+// Dial opens a wire session to addr: TCP connect, Hello/Welcome
+// handshake, response-reader start. A server rejection surfaces as
+// *ErrFrame.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		cfg:        cfg,
+		pending:    make(map[uint64]*call),
+		readerDone: make(chan struct{}),
+	}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	deadline := time.Now().Add(c.cfg.DialTimeout)
+	_ = c.conn.SetDeadline(deadline)
+	defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	b, err := EncodeHello(nil, Hello{
+		MinVersion: c.cfg.MinVersion,
+		MaxVersion: c.cfg.MaxVersion,
+		Tenant:     c.cfg.Tenant,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(b); err != nil {
+		return err
+	}
+	var rbuf []byte
+	h, payload, err := readFrame(c.conn, &rbuf, c.cfg.MaxFrame)
+	if err != nil {
+		return err
+	}
+	switch h.Type {
+	case FrameWelcome:
+		w, err := decodeWelcome(payload)
+		if err != nil {
+			return err
+		}
+		if w.Version < c.cfg.MinVersion || w.Version > c.cfg.MaxVersion {
+			return ErrVersion
+		}
+		c.welcome = w
+		return nil
+	case FrameError:
+		e, err := decodeError(payload)
+		if err != nil {
+			return err
+		}
+		return &e
+	default:
+		return ErrBadFrame
+	}
+}
+
+// Welcome returns the handshake result: the negotiated version and
+// the bound tenant's image shape.
+func (c *Client) Welcome() Welcome { return c.welcome }
+
+// Close tears the session down. In-flight calls fail with the
+// connection error.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// readLoop dispatches response frames to their pending calls until
+// the connection dies.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var rbuf []byte
+	for {
+		h, payload, err := readFrame(c.conn, &rbuf, c.cfg.MaxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch {
+		case h.Type == FrameGoAway:
+			c.fail(ErrGoAway)
+			return
+		case h.Corr == 0:
+			// Session-level error: the server is about to close.
+			if h.Type == FrameError {
+				if e, derr := decodeError(payload); derr == nil {
+					ef := e
+					c.fail(&ef)
+					return
+				}
+			}
+			c.fail(ErrBadFrame)
+			return
+		default:
+			c.mu.Lock()
+			cl := c.pending[h.Corr]
+			delete(c.pending, h.Corr)
+			c.mu.Unlock()
+			if cl == nil {
+				c.fail(ErrBadFrame)
+				return
+			}
+			cl.complete(h.Type, payload)
+		}
+	}
+}
+
+// complete decodes one response into its call and wakes the waiter.
+func (cl *call) complete(t FrameType, payload []byte) {
+	defer close(cl.done)
+	if t == FrameError {
+		e, err := decodeError(payload)
+		if err != nil {
+			cl.err = err
+			return
+		}
+		cl.err = &e
+		return
+	}
+	if t != cl.typ {
+		cl.err = ErrBadFrame
+		return
+	}
+	switch t {
+	case FrameDecisions:
+		n, err := DecodeDecisionsInto(payload, cl.dst)
+		if err != nil {
+			cl.err = err
+		} else if n != len(cl.dst) {
+			cl.err = ErrBadFrame
+		}
+	case FrameMutated:
+		if len(payload) != 8 {
+			cl.err = ErrBadFrame
+			return
+		}
+		cl.version = binary.BigEndian.Uint64(payload)
+	case FramePong:
+		cl.health, cl.err = decodePong(payload)
+	default:
+		cl.err = ErrBadFrame
+	}
+}
+
+// fail terminates every pending call with err (first failure wins)
+// and closes the connection.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	err = c.fatal
+	pending := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	for _, cl := range pending {
+		cl.err = err
+		close(cl.done)
+	}
+	c.conn.Close()
+}
+
+// roundTrip registers a call, writes its request frame (encoded by
+// enc into the shared scratch buffer under the write lock) and waits
+// for the response.
+func (c *Client) roundTrip(cl *call, enc func(buf []byte, corr uint64) ([]byte, error)) error {
+	cl.done = make(chan struct{})
+	c.mu.Lock()
+	if c.fatal != nil {
+		err := c.fatal
+		c.mu.Unlock()
+		return err
+	}
+	c.nextCorr++
+	id := c.nextCorr
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	b, err := enc(c.wbuf, id)
+	var werr error
+	if err == nil {
+		c.wbuf = b
+		_, werr = c.conn.Write(b)
+	}
+	c.wmu.Unlock()
+	if err != nil || werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		c.fail(werr)
+		return werr
+	}
+	<-cl.done
+	return cl.err
+}
+
+// CheckInto answers a batch of queries in place: dst[i] answers
+// queries[i], and dst must hold at least len(queries) elements.
+// Concurrent CheckInto calls pipeline on the session.
+func (c *Client) CheckInto(queries []service.Query, dst []service.Decision) error {
+	if len(dst) < len(queries) {
+		return errors.New("wire: dst shorter than queries")
+	}
+	cl := &call{typ: FrameDecisions, dst: dst[:len(queries)]}
+	return c.roundTrip(cl, func(buf []byte, corr uint64) ([]byte, error) {
+		return EncodeCheck(buf, corr, queries)
+	})
+}
+
+// Check answers a batch of queries, allocating the decision slice.
+func (c *Client) Check(queries ...service.Query) ([]service.Decision, error) {
+	dst := make([]service.Decision, len(queries))
+	if err := c.CheckInto(queries, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Mutate applies one supervisor mutation and returns the store
+// version after it.
+func (c *Client) Mutate(m Mutation) (uint64, error) {
+	cl := &call{typ: FrameMutated}
+	err := c.roundTrip(cl, func(buf []byte, corr uint64) ([]byte, error) {
+		return EncodeMutate(buf, corr, m)
+	})
+	return cl.version, err
+}
+
+// Ping probes liveness and returns the tenant's current image shape.
+func (c *Client) Ping() (Health, error) {
+	cl := &call{typ: FramePong}
+	err := c.roundTrip(cl, func(buf []byte, corr uint64) ([]byte, error) {
+		return EncodePing(buf, corr), nil
+	})
+	return cl.health, err
+}

@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seg"
+	"repro/internal/service"
+)
+
+// roundTrip encodes f, decodes the bytes, re-encodes, and asserts
+// byte and struct stability.
+func roundTrip(t *testing.T, f Frame) []byte {
+	t.Helper()
+	b, err := EncodeFrame(nil, f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, n, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(b) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(b))
+	}
+	re, err := EncodeFrame(nil, got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, b) {
+		t.Fatalf("re-encode drifted:\n got %x\nwant %x", re, b)
+	}
+	return b
+}
+
+func TestFrameRoundTrips(t *testing.T) {
+	frames := map[string]Frame{
+		"hello":         {Type: FrameHello, Hello: Hello{MinVersion: 1, MaxVersion: 3, Tenant: "acme"}},
+		"hello_default": {Type: FrameHello, Hello: Hello{MinVersion: Version, MaxVersion: Version}},
+		"welcome": {Type: FrameWelcome, Welcome: Welcome{Version: 1,
+			Health: Health{Segments: 6, Shards: 8, Workers: 2, StoreVersion: 42}}},
+		"check": {Type: FrameCheck, Corr: 7, Queries: goldenQueries()},
+		"check_limits": {Type: FrameCheck, Corr: 1 << 63, Queries: []service.Query{
+			{Op: service.OpAccess, Ring: 7, Segno: seg.MaxSegno, Wordno: 1<<seg.WordnoBits - 1,
+				Kind: core.AccessExecute, SameSegment: true},
+			{Op: service.OpEffRing, Ring: 0, Chain: []service.ChainStep{
+				{PR: true, Ring: 7}, {Segno: seg.MaxSegno, Ring: 1}, {PR: true}}},
+		}},
+		"decisions": {Type: FrameDecisions, Corr: 7, Decisions: []service.Decision{
+			{Allowed: true, Outcome: core.CallDownward.String(), NewRing: 3, Shard: 1},
+			{Violation: core.ViolationKind(4).String(), ViolationKind: 4,
+				VersionLo: 2, VersionHi: 2, Shard: 0, Worker: 3},
+			{Trapped: true, Allowed: true, Outcome: core.ReturnDownwardTrap.String(),
+				Shard: -1, Worker: 1<<15 - 1, VersionLo: 1 << 60, VersionHi: 1 << 60},
+			{Err: "invalid access kind 3", Shard: -1},
+		}},
+		"mutate_setbrackets": {Type: FrameMutate, Corr: 9, Mutation: Mutation{
+			Op: MutSetBrackets, Segment: "data", Read: true, Write: true,
+			Brackets: core.Brackets{R1: 1, R2: 1, R3: 1}}},
+		"mutate_revoke":  {Type: FrameMutate, Corr: 10, Mutation: Mutation{Op: MutRevoke, Segno: 5}},
+		"mutate_restore": {Type: FrameMutate, Corr: 11, Mutation: Mutation{Op: MutRestore, Segment: "secret"}},
+		"mutated":        {Type: FrameMutated, Corr: 9, StoreVersion: 2},
+		"ping":           {Type: FramePing, Corr: 12},
+		"pong": {Type: FramePong, Corr: 12,
+			Health: Health{Segments: 3, Shards: 8, Workers: 1, StoreVersion: 4}},
+		"error":  {Type: FrameError, Corr: 13, Err: ErrFrame{Code: CodeShed, Msg: "service: decision queue full"}},
+		"goaway": {Type: FrameGoAway},
+	}
+	for name, f := range frames {
+		t.Run(name, func(t *testing.T) {
+			b := roundTrip(t, f)
+			got, _, _ := DecodeFrame(b)
+			// Structural equality, not just byte stability. The check
+			// frame's chain/effring storage differs (slab-backed), so
+			// compare through reflect.DeepEqual which follows pointers.
+			if !reflect.DeepEqual(got, f) {
+				t.Errorf("decode drifted:\n got %+v\nwant %+v", got, f)
+			}
+		})
+	}
+}
+
+func TestDecisionViolationDerivedFromKind(t *testing.T) {
+	// The violation string is not carried on the wire: decode rebuilds
+	// it from the interned kind names.
+	for k := 1; k < core.ViolationKindCount; k++ {
+		d := service.Decision{ViolationKind: core.ViolationKind(k),
+			Violation: core.ViolationKind(k).String(), Shard: -1}
+		b, err := EncodeDecisions(nil, 1, []service.Decision{d})
+		if err != nil {
+			t.Fatalf("kind %d: %v", k, err)
+		}
+		var dst [1]service.Decision
+		if _, err := DecodeDecisionsInto(b[HeaderLen:], dst[:]); err != nil {
+			t.Fatalf("kind %d: decode: %v", k, err)
+		}
+		if dst[0].Violation != core.ViolationKind(k).String() {
+			t.Errorf("kind %d: violation %q, want %q", k, dst[0].Violation, core.ViolationKind(k).String())
+		}
+	}
+}
+
+func TestEncodeRejectsUnencodable(t *testing.T) {
+	cases := map[string]Frame{
+		"ring too wide": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Ring: 8, Segment: "data"}}},
+		"effring too wide": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Ring: 1, EffRing: ringp(9)}}},
+		"segno too wide": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Segno: seg.MaxSegno + 1}}},
+		"wordno too wide": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Wordno: 1 << seg.WordnoBits}}},
+		"bad op": {Type: FrameCheck, Queries: []service.Query{{Op: "sniff"}}},
+		"bad kind": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Kind: 4}}},
+		"name and segno": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Segment: "data", Segno: 3}}},
+		"name too long": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Segment: strings.Repeat("x", maxQueryName+1)}}},
+		"nul in name": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpAccess, Segment: "da\x00ta"}}},
+		"chain ring too wide": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpEffRing, Chain: []service.ChainStep{{Ring: 8}}}}},
+		"pr step with segno": {Type: FrameCheck, Queries: []service.Query{
+			{Op: service.OpEffRing, Chain: []service.ChainStep{{PR: true, Segno: 1}}}}},
+		"decision bad outcome": {Type: FrameDecisions, Decisions: []service.Decision{
+			{Outcome: "sideways call"}}},
+		"decision worker too wide": {Type: FrameDecisions, Decisions: []service.Decision{
+			{Worker: 1 << 15}}},
+		"decision shard too wide": {Type: FrameDecisions, Decisions: []service.Decision{
+			{Shard: 127}}},
+		"mutation bad op": {Type: FrameMutate, Mutation: Mutation{Op: 9}},
+		"mutation gates too wide": {Type: FrameMutate, Mutation: Mutation{
+			Op: MutSetBrackets, Segment: "code", Gates: 1 << 14}},
+		"mutation brackets on revoke": {Type: FrameMutate, Mutation: Mutation{
+			Op: MutRevoke, Segment: "data", Read: true}},
+		"hello zero min":       {Type: FrameHello, Hello: Hello{MaxVersion: 1}},
+		"hello inverted range": {Type: FrameHello, Hello: Hello{MinVersion: 2, MaxVersion: 1}},
+		"error zero code":      {Type: FrameError, Err: ErrFrame{Msg: "x"}},
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := EncodeFrame(nil, f); err == nil {
+				t.Errorf("encode accepted %+v", f)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTruncation decodes every proper prefix of valid
+// frames: none may succeed or panic.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, f := range []Frame{
+		{Type: FrameCheck, Corr: 7, Queries: goldenQueries()},
+		{Type: FrameHello, Hello: Hello{MinVersion: 1, MaxVersion: 1, Tenant: "acme"}},
+		{Type: FrameError, Corr: 3, Err: ErrFrame{Code: 400, Msg: "nope"}},
+	} {
+		b, err := EncodeFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(b); n++ {
+			if _, _, err := DecodeFrame(b[:n]); err == nil {
+				t.Fatalf("%v: decode of %d/%d byte prefix succeeded", f.Type, n, len(b))
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips each byte of a valid check frame
+// (and of a decisions frame) one at a time: decoding must either fail
+// or stay canonical (re-encode to exactly the mutated bytes).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	for _, f := range []Frame{
+		{Type: FrameCheck, Corr: 7, Queries: goldenQueries()},
+		{Type: FrameDecisions, Corr: 7, Decisions: []service.Decision{
+			{Allowed: true, Outcome: core.CallDownward.String(), NewRing: 3, Shard: 1}}},
+		{Type: FrameMutate, Corr: 9, Mutation: Mutation{
+			Op: MutSetBrackets, Segment: "data", Read: true,
+			Brackets: core.Brackets{R1: 1, R2: 1, R3: 1}}},
+	} {
+		orig, err := EncodeFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			for _, flip := range []byte{0x01, 0x80} {
+				mut := bytes.Clone(orig)
+				mut[i] ^= flip
+				got, n, err := DecodeFrame(mut)
+				if err != nil {
+					continue
+				}
+				re, err := EncodeFrame(nil, got)
+				if err != nil {
+					t.Fatalf("%v byte %d ^%02x: decoded but re-encode failed: %v", f.Type, i, flip, err)
+				}
+				if !bytes.Equal(re, mut[:n]) {
+					t.Fatalf("%v byte %d ^%02x: non-canonical decode survived:\n got %x\nwant %x",
+						f.Type, i, flip, re, mut[:n])
+				}
+			}
+		}
+	}
+}
+
+func TestHeaderRejectsReservedBits(t *testing.T) {
+	b := EncodePing(nil, 3)
+	for _, i := range []int{5, 6, 7} {
+		mut := bytes.Clone(b)
+		mut[i] = 1
+		if _, err := ParseHeader(mut); err == nil {
+			t.Errorf("nonzero header byte %d accepted", i)
+		}
+	}
+	mut := bytes.Clone(b)
+	mut[4] = byte(FrameGoAway) + 1
+	if _, err := ParseHeader(mut); err == nil {
+		t.Error("unknown frame type accepted")
+	}
+}
+
+func TestEncodeReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	b, err := EncodeCheck(buf, 1, goldenQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b[0] != &buf[:1][0] {
+		t.Error("EncodeCheck did not reuse the provided buffer")
+	}
+}

@@ -71,6 +71,7 @@ func (w Word) Bit(n uint) bool { return w.Field(n, 1) != 0 }
 // by the low bits of val. Bits of val beyond width are ignored.
 func (w Word) Deposit(lo, width uint, val uint64) Word {
 	if lo+width > Bits {
+		//ring:allow panic on compile-time-constant layout bug, never taken at run time
 		panic(fmt.Sprintf("word: field [%d,%d) exceeds %d bits", lo, lo+width, Bits))
 	}
 	m := ((uint64(1) << width) - 1) << lo

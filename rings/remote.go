@@ -1,0 +1,245 @@
+package rings
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// RemoteConfig sizes a RemoteChecker built with DialRemote. The zero
+// value picks the transport from the target's scheme and the "default"
+// tenant.
+type RemoteConfig struct {
+	// Transport selects "http" (request/response JSON against ringd's
+	// /v1 surface) or "wire" (one persistent binary streaming session,
+	// pipelined batches). Empty infers from the target: an http:// or
+	// https:// URL means HTTP, a wire:// URL or bare host:port means
+	// wire.
+	Transport string
+	// Tenant names the image the session decides against; empty means
+	// "default". Over HTTP this routes through /v1/t/{name}; over the
+	// wire the session binds the tenant at the Hello handshake.
+	Tenant string
+	// Timeout bounds each HTTP request, or the wire dial+handshake;
+	// default 30s.
+	Timeout time.Duration
+}
+
+// RemoteChecker is Checker's remote mode: the same batch-decision
+// surface served by a running ringd, over either transport. A single
+// RemoteChecker is safe for concurrent use; on the wire transport
+// concurrent CheckInto calls pipeline down one session and complete
+// out of order by correlation ID.
+type RemoteChecker struct {
+	// Exactly one transport is non-nil.
+	wc *wire.Client
+
+	hc     *http.Client
+	target string // HTTP base URL, tenant-scoped
+	health string // HTTP healthz URL
+}
+
+// RemoteHealth is the served image's shape, from GET /healthz or a
+// wire ping frame.
+type RemoteHealth struct {
+	Workers  int
+	Segments int
+	Shards   int
+	Version  uint64
+}
+
+// DialRemote connects to a ringd at target. HTTP targets are base
+// URLs ("http://host:8642"); wire targets are "wire://host:8643" or a
+// bare "host:8643". The wire transport holds one TCP session open
+// until Close.
+func DialRemote(target string, cfg RemoteConfig) (*RemoteChecker, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	transport := cfg.Transport
+	if transport == "" {
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+			transport = "http"
+		} else {
+			transport = "wire"
+		}
+	}
+	switch transport {
+	case "http":
+		base := strings.TrimSuffix(target, "/")
+		rc := &RemoteChecker{
+			hc:     &http.Client{Timeout: cfg.Timeout},
+			target: base,
+			health: base + "/healthz",
+		}
+		if cfg.Tenant != "" {
+			rc.target = base + "/v1/t/" + cfg.Tenant
+			rc.health = rc.target + "/healthz"
+		} else {
+			rc.target = base + "/v1"
+		}
+		return rc, nil
+	case "wire":
+		addr := strings.TrimPrefix(target, "wire://")
+		wc, err := wire.Dial(addr, wire.ClientConfig{Tenant: cfg.Tenant, DialTimeout: cfg.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		return &RemoteChecker{wc: wc}, nil
+	default:
+		return nil, fmt.Errorf("rings: unknown remote transport %q", cfg.Transport)
+	}
+}
+
+// Close releases the transport (the wire session sends nothing further
+// and hangs up).
+func (rc *RemoteChecker) Close() error {
+	if rc.wc != nil {
+		return rc.wc.Close()
+	}
+	rc.hc.CloseIdleConnections()
+	return nil
+}
+
+// Check answers a batch of queries against the remote image.
+func (rc *RemoteChecker) Check(queries ...Query) ([]Decision, error) {
+	dst := make([]Decision, len(queries))
+	if err := rc.CheckInto(queries, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// CheckInto answers a batch into a caller-supplied decision slice,
+// mirroring Checker.CheckInto. A shed batch (the remote queue was
+// full) reports ErrQueueFull, whichever transport carried it.
+func (rc *RemoteChecker) CheckInto(queries []Query, dst []Decision) error {
+	if rc.wc != nil {
+		return mapWireErr(rc.wc.CheckInto(queries, dst))
+	}
+	body, err := marshalCheck(queries)
+	if err != nil {
+		return err
+	}
+	resp, err := rc.hc.Post(rc.target+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return ErrQueueFull
+	}
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	var cr struct {
+		Decisions []Decision `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return err
+	}
+	if len(cr.Decisions) != len(queries) {
+		return fmt.Errorf("rings: %d decisions for %d queries", len(cr.Decisions), len(queries))
+	}
+	copy(dst, cr.Decisions)
+	return nil
+}
+
+// Health reports the served image's shape.
+func (rc *RemoteChecker) Health() (RemoteHealth, error) {
+	if rc.wc != nil {
+		h, err := rc.wc.Ping()
+		if err != nil {
+			return RemoteHealth{}, mapWireErr(err)
+		}
+		return RemoteHealth{Workers: int(h.Workers), Segments: int(h.Segments),
+			Shards: int(h.Shards), Version: h.StoreVersion}, nil
+	}
+	resp, err := rc.hc.Get(rc.health)
+	if err != nil {
+		return RemoteHealth{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RemoteHealth{}, httpError(resp)
+	}
+	var h struct {
+		OK       bool   `json:"ok"`
+		Workers  int    `json:"workers"`
+		Segments int    `json:"segments"`
+		Shards   int    `json:"shards"`
+		Version  uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return RemoteHealth{}, err
+	}
+	if !h.OK {
+		return RemoteHealth{}, errors.New("rings: remote unhealthy")
+	}
+	return RemoteHealth{Workers: h.Workers, Segments: h.Segments, Shards: h.Shards, Version: h.Version}, nil
+}
+
+// mapWireErr folds the wire transport's shed frame back into the
+// vocabulary in-process callers already handle.
+func mapWireErr(err error) error {
+	var ef *wire.ErrFrame
+	if errors.As(err, &ef) && ef.Code == wire.CodeShed {
+		return ErrQueueFull
+	}
+	return err
+}
+
+// httpError reads a JSON error body into an error value.
+func httpError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+		return fmt.Errorf("rings: remote: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("rings: remote: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+}
+
+// marshalCheck builds the /v1/check JSON body (access kinds travel as
+// strings on the HTTP transport).
+func marshalCheck(queries []Query) ([]byte, error) {
+	type wq struct {
+		Op          string      `json:"op"`
+		Ring        uint8       `json:"ring"`
+		Segment     string      `json:"segment,omitempty"`
+		Segno       uint32      `json:"segno,omitempty"`
+		Wordno      uint32      `json:"wordno,omitempty"`
+		Kind        string      `json:"kind,omitempty"`
+		EffRing     *uint8      `json:"eff_ring,omitempty"`
+		SameSegment bool        `json:"same_segment,omitempty"`
+		Chain       []ChainStep `json:"chain,omitempty"`
+	}
+	kinds := map[AccessKind]string{
+		AccessRead: "read", AccessWrite: "write", AccessExecute: "execute",
+	}
+	out := struct {
+		Queries []wq `json:"queries"`
+	}{Queries: make([]wq, len(queries))}
+	for i, q := range queries {
+		w := wq{Op: string(q.Op), Ring: uint8(q.Ring), Segment: q.Segment, Segno: q.Segno,
+			Wordno: q.Wordno, SameSegment: q.SameSegment, Chain: q.Chain}
+		if q.Op == OpAccess {
+			w.Kind = kinds[q.Kind]
+		}
+		if q.EffRing != nil {
+			r := uint8(*q.EffRing)
+			w.EffRing = &r
+		}
+		out.Queries[i] = w
+	}
+	return json.Marshal(out)
+}
