@@ -23,7 +23,7 @@
 //	POST /v1/t/{name}/check      tenant-scoped decision batch
 //	POST /v1/t/{name}/mutate     tenant-scoped supervisor edit
 //	GET  /v1/t/{name}/healthz    tenant liveness and image shape
-//	GET  /v1/t/{name}/metrics    tenant decision/fault/RCU counters
+//	GET  /v1/t/{name}/metrics    tenant decision/fault/RCU/lease counters
 //
 //	POST /v1/check   \
 //	POST /v1/mutate   | single-tenant compatibility surface: the
@@ -35,7 +35,14 @@
 // pipelined length-prefixed decision batches with client-assigned
 // correlation IDs, the same tenant semantics as /v1/t/{name} (a session
 // binds its tenant at the Hello handshake; seal/drain races answer
-// 409-equivalent error frames). See DESIGN.md "Wire protocol".
+// 409-equivalent error frames). A session that sends a Subscribe frame
+// additionally receives the tenant's descriptor-invalidation stream:
+// one Shootdown push per mutation (naming the publishing shard's new
+// epoch) and a final LeaseExpire when the tenant drains — the feed a
+// client-side decision-lease cache (rings.DialRemote with CacheSize)
+// stays coherent by. Per-tenant subscriber/shootdown/expire counters
+// appear under "leases" in /metrics. See DESIGN.md "Wire protocol" and
+// "Distributed decision leases".
 //
 // The startup image (the -image file, or a built-in demonstration
 // image) is loaded as the tenant named "default". Image files are JSON

@@ -13,7 +13,7 @@
 //	         [-mutators 1] [-seed 1] [-sweep 1,2,4,8]
 //	         [-sweep-workers 1,2,4] [-tenants 1]
 //	         [-target http://host:8642] [-transport http]
-//	         [-compare-transports] [-json]
+//	         [-compare-transports] [-client-cache] [-json]
 //
 // Each of the -c clients owns one pre-generated query batch pool and
 // one reusable decision buffer, and loops: submit, record the batch
@@ -46,6 +46,16 @@
 // and batch pools drive first the JSON transport, then the binary
 // streaming transport, and the headline metrics are the throughput
 // speedup and p99 ratio of wire over HTTP at equal worker count.
+//
+// -client-cache (in-process) runs the T17 decision-lease experiment:
+// one registry behind a loopback wire listener is driven twice per
+// cell of a server-side mutation-rate grid — once through a plain
+// wire session, once through a session fronted by the client-side
+// decision-lease cache (rings.DialRemote with CacheSize), which stays
+// coherent via the Subscribe/Shootdown stream. A paced supervisor
+// goroutine edits user_data's brackets at each grid rate, so every
+// cell measures cached speedup and hit rate under that invalidation
+// pressure.
 //
 // With -json, results are emitted as a JSON array in the same shape as
 // ringbench -json (id, title, host_ns, metrics, lines), so the two
@@ -96,6 +106,7 @@ type config struct {
 	target       string
 	transport    string
 	compare      bool
+	clientCache  bool
 	jsonOut      bool
 }
 
@@ -552,6 +563,208 @@ func runT16(cfg config) ([]jsonResult, error) {
 	return []jsonResult{httpReport, wireReport, delta}, nil
 }
 
+// ---- T17: client-side decision leases ----
+
+// t17Rates is the server-side mutation-rate grid, supervisor edits per
+// second against the user_data segment: an idle store, a trickle, and
+// an aggressive editor. Each rate prices the shootdown stream — every
+// edit invalidates the edited shard's leases on every subscribed
+// client mid-trial.
+var t17Rates = []int{0, 100, 1000}
+
+// t17Trial runs one closed-loop trial against the wire listener at
+// addr — through a plain session when cacheSize is 0, through a
+// decision-lease cache in front of the session otherwise — while a
+// paced supervisor goroutine edits user_data's brackets rate times per
+// second through the store's snapshot-publish path (the same edit
+// runTrial's in-process mutators stream, but rate-limited so both
+// trials in a grid cell see identical invalidation pressure).
+func t17Trial(cfg config, addr string, cacheSize int, rate int, tnt *tenant.Tenant, udSegno uint32, pools [][][]rings.Query) (*result, rings.CacheStats, error) {
+	rcfg := rings.RemoteConfig{Transport: "wire"}
+	if cacheSize > 0 {
+		rcfg.CacheSize = cacheSize
+		rcfg.CacheTTL = 5 * time.Second // coherence comes from shootdowns; TTL is the lag backstop
+	}
+	rc, err := rings.DialRemote(addr, rcfg)
+	if err != nil {
+		return nil, rings.CacheStats{}, err
+	}
+	d := &wireDriver{rc: rc}
+
+	stopMut := make(chan struct{})
+	var mutWG sync.WaitGroup
+	var mutations atomic.Uint64
+	var mutErr atomic.Value
+	if rate > 0 {
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			wide := rings.Brackets{R1: 4, R2: 6, R3: 6}
+			narrow := rings.Brackets{R1: 4, R2: 5, R3: 5}
+			tick := time.NewTicker(time.Second / time.Duration(rate))
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stopMut:
+					return
+				case <-tick.C:
+				}
+				b := wide
+				if i%2 == 0 {
+					b = narrow
+				}
+				if err := tnt.Store().SetBrackets(udSegno, true, true, false, b, 0); err != nil {
+					mutErr.Store(err)
+					return
+				}
+				mutations.Add(1)
+			}
+		}()
+	}
+
+	res, err := runTrial(cfg, d, nil, pools)
+	close(stopMut)
+	mutWG.Wait()
+	stats := rc.CacheStats()
+	d.close()
+	if err != nil {
+		return nil, stats, err
+	}
+	if e, ok := mutErr.Load().(error); ok {
+		return nil, stats, e
+	}
+	res.mutations = mutations.Load()
+	return res, stats, nil
+}
+
+// runT17 serves one registry over a loopback wire listener and, for
+// each mutation rate in t17Rates, measures the same batch pools twice:
+// uncached (every batch a wire round trip) and cached (repeat queries
+// answered from decision leases kept coherent by the shootdown
+// stream). The headline is the idle-store cell: cached throughput over
+// uncached, at the observed lease hit rate.
+func runT17(cfg config) ([]jsonResult, error) {
+	reg := tenant.NewRegistry(tenant.Config{
+		MaxTenants:   1,
+		WorkerBudget: cfg.workers,
+	})
+	segs := loadImage()
+	tnt, err := reg.Load(tenant.DefaultTenant, segs, tenant.TenantConfig{
+		Workers: cfg.workers, QueueDepth: cfg.queue, Shards: cfg.shards,
+	})
+	if err != nil {
+		reg.Close()
+		return nil, err
+	}
+	udSegno, ok := tnt.Store().Segno("user_data")
+	if !ok {
+		reg.Close()
+		return nil, errors.New("demo image has no user_data segment")
+	}
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		reg.Close()
+		return nil, err
+	}
+	ws := wire.NewServer(reg, wire.Config{})
+	go ws.Serve(wln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		ws.Shutdown(ctx)
+		reg.Close()
+	}()
+
+	cfg.mutators = 0 // T17 paces its own supervisor edits per grid cell
+	// Multi-shard effring chains are stamped Shard = -1 (their epoch
+	// interval is a sum over consulted shards), which makes them
+	// deliberately lease-ineligible — a single shootdown can't name
+	// their interval. One such query per batch forces the whole batch
+	// onto the wire, so the grid measures the cacheable mix.
+	cfg.mix.effring = 0
+	pools := genBatches(cfg, uint32(len(segs)))
+	// Each client cycles a 16-batch pool, so the whole working set is
+	// clients x 16 x batch queries; size the cache past it so eviction
+	// never competes with shootdowns for the hit rate.
+	cacheSize := 2 * cfg.clients * 16 * cfg.batch
+
+	addr := wln.Addr().String()
+	var out []jsonResult
+	var headSpeedup, headHitRate float64
+	var headNs int64
+	for _, rate := range t17Rates {
+		un, _, err := t17Trial(cfg, addr, 0, rate, tnt, udSegno, pools)
+		if err != nil {
+			return nil, err
+		}
+		ca, stats, err := t17Trial(cfg, addr, cacheSize, rate, tnt, udSegno, pools)
+		if err != nil {
+			return nil, err
+		}
+		hitRate := 0.0
+		if n := stats.Hits + stats.Misses; n > 0 {
+			hitRate = float64(stats.Hits) / float64(n)
+		}
+		speedup := 0.0
+		if t := un.throughput(); t > 0 {
+			speedup = ca.throughput() / t
+		}
+		if rate == t17Rates[0] {
+			headSpeedup, headHitRate = speedup, hitRate
+		}
+		headNs += un.elapsed.Nanoseconds() + ca.elapsed.Nanoseconds()
+		out = append(out, jsonResult{
+			ID:     fmt.Sprintf("RINGLOAD-T17-M%d", rate),
+			Title:  fmt.Sprintf("decision leases: cached vs uncached wire at %d edits/s", rate),
+			HostNs: un.elapsed.Nanoseconds() + ca.elapsed.Nanoseconds(),
+			Metrics: map[string]float64{
+				"mutation_rate":              float64(rate),
+				"uncached_decisions_per_sec": un.throughput(),
+				"cached_decisions_per_sec":   ca.throughput(),
+				"cached_speedup":             speedup,
+				"hit_rate":                   hitRate,
+				"uncached_p99_ns":            float64(un.lat.quantile(0.99)),
+				"cached_p99_ns":              float64(ca.lat.quantile(0.99)),
+				"lease_hits":                 float64(stats.Hits),
+				"lease_misses":               float64(stats.Misses),
+				"lease_shootdowns":           float64(stats.Shootdowns),
+				"mutations":                  float64(ca.mutations),
+				"clients":                    float64(cfg.clients),
+				"batch":                      float64(cfg.batch),
+				"workers":                    float64(cfg.workers),
+			},
+			Lines: []string{
+				fmt.Sprintf("%d clients x batch %d, %d workers, %v per trial, %d supervisor edits/s",
+					cfg.clients, cfg.batch, cfg.workers, cfg.duration, rate),
+				fmt.Sprintf("uncached wire: %.0f decisions/s, p99 %v", un.throughput(),
+					time.Duration(un.lat.quantile(0.99))),
+				fmt.Sprintf("cached wire: %.0f decisions/s, p99 %v (%.1f%% lease hits, %d shootdowns)",
+					ca.throughput(), time.Duration(ca.lat.quantile(0.99)),
+					100*hitRate, stats.Shootdowns),
+				fmt.Sprintf("cached/uncached: %.2fx throughput", speedup),
+			},
+		})
+	}
+	head := jsonResult{
+		ID:     "RINGLOAD-T17",
+		Title:  "decision leases: client cache speedup over uncached wire",
+		HostNs: headNs,
+		Metrics: map[string]float64{
+			"cached_speedup": headSpeedup,
+			"hit_rate":       headHitRate,
+			"clients":        float64(cfg.clients),
+			"batch":          float64(cfg.batch),
+			"workers":        float64(cfg.workers),
+		},
+		Lines: []string{
+			fmt.Sprintf("idle store: %.2fx cached throughput at %.1f%% lease hit rate",
+				headSpeedup, 100*headHitRate),
+			fmt.Sprintf("grid: %v edits/s cells above, same pools both sides per cell", t17Rates),
+		},
+	}
+	return append(out, head), nil
+}
+
 // ---- T15: multi-tenant isolation ----
 
 // zipfS is the Zipf skew of the hot-tenant pick: s=1.2 concentrates
@@ -952,6 +1165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	target := fs.String("target", "", "ringd base URL; empty runs in-process")
 	transport := fs.String("transport", "http", "transport for -target mode: http (JSON request-response) or wire (binary streaming session)")
 	compare := fs.Bool("compare-transports", false, "run the T16 transport experiment in-process: same registry over HTTP and wire loopback listeners")
+	clientCache := fs.Bool("client-cache", false, "run the T17 decision-lease experiment in-process: cached wire clients vs uncached across a mutation-rate grid")
 	jsonOut := fs.Bool("json", false, "emit results as a ringbench-compatible JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -991,12 +1205,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringload: -compare-transports and -tenants are separate experiments")
 		return 1
 	}
+	if *clientCache && *target != "" {
+		fmt.Fprintln(stderr, "ringload: -client-cache is in-process only, not with -target")
+		return 1
+	}
+	if *clientCache && *tenants > 1 {
+		fmt.Fprintln(stderr, "ringload: -client-cache and -tenants are separate experiments")
+		return 1
+	}
 	cfg := config{
 		clients: *clients, duration: *duration, batch: *batch, mix: m,
 		workers: *workers, shards: *shards, queue: *queue,
 		mutators: *mutators, seed: *seed, sweep: sweep, sweepWorkers: sweepWorkers,
 		tenants: *tenants, target: *target, transport: *transport,
-		compare: *compare, jsonOut: *jsonOut,
+		compare: *compare, clientCache: *clientCache, jsonOut: *jsonOut,
 	}
 
 	var results []jsonResult
@@ -1073,6 +1295,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			results = append(results, t16...)
+			ran = true
+		}
+		if cfg.clientCache {
+			t17, err := runT17(cfg)
+			if err != nil {
+				fmt.Fprintln(stderr, "ringload:", err)
+				return 1
+			}
+			results = append(results, t17...)
 			ran = true
 		}
 		if !ran {

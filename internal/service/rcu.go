@@ -256,6 +256,12 @@ func (st *Store) publishLocked(shi int, segno uint32, epoch uint64) error {
 	st.reclaimLocked(shi)
 	sh.stats.retired.Store(int64(len(sh.retired)))
 	sh.stats.free.Store(int64(len(sh.free)))
+	if hook := st.publishHook.Load(); hook != nil {
+		// Still under sh.mu: hook calls for one shard arrive in strictly
+		// increasing epoch order, so a shootdown always names the epoch
+		// whose publication it follows.
+		(*hook)(shi, segno, epoch)
+	}
 	return nil
 }
 

@@ -160,6 +160,16 @@ type Store struct {
 	readersMu sync.Mutex
 	readers   atomic.Pointer[[]*reader]
 
+	// publishHook, when set, is called after every snapshot publication
+	// with the shard index, the edited segment number and the new (even)
+	// publication epoch — still under the shard's mutation lock, so for
+	// a given shard the calls arrive in strictly increasing epoch order.
+	// This is the network analogue of the coherence Group's shootdown
+	// broadcast: the tenant layer fans the event out to subscribed wire
+	// sessions. The hook must not block and must not call back into the
+	// store's mutation path.
+	publishHook atomic.Pointer[func(shard int, segno uint32, epoch uint64)]
+
 	names  map[string]uint32
 	segnos []string
 }
@@ -351,6 +361,20 @@ func (st *Store) mutate(segno uint32, f func(sup *mmu.MMU) error) error {
 	}
 	sh.epoch.Add(1)
 	return err
+}
+
+// SetPublishHook installs f to be called after every snapshot
+// publication (shard index, edited segno, new even epoch), under the
+// publishing shard's mutation lock — per-shard calls are serialized in
+// strictly increasing epoch order. A nil f removes the hook. Intended
+// to be set once, before mutations begin, by the layer distributing
+// invalidations (internal/tenant's lease hub).
+func (st *Store) SetPublishHook(f func(shard int, segno uint32, epoch uint64)) {
+	if f == nil {
+		st.publishHook.Store(nil)
+		return
+	}
+	st.publishHook.Store(&f)
 }
 
 // SDW fetches the current descriptor of segno through its shard's

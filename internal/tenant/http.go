@@ -289,6 +289,17 @@ func (h *Handler) forward(w http.ResponseWriter, r *http.Request, t *Tenant, end
 	case "healthz":
 		target = "/healthz"
 	case "metrics":
+		if r.Method == http.MethodGet {
+			// Merge the tenant's lease-hub counters into the service
+			// snapshot. Embedding inlines the snapshot's existing keys,
+			// so the single-tenant wire shape is extended with a
+			// "leases" object, never changed.
+			writeJSON(w, http.StatusOK, struct {
+				service.Snapshot
+				Leases LeaseStats `json:"leases"`
+			}{t.Service().Snapshot(), t.LeaseStats()})
+			return
+		}
 		target = "/metrics"
 	default:
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown tenant endpoint %q", endpoint)})

@@ -154,6 +154,10 @@ type Tenant struct {
 	store *service.Store
 	svc   *service.Service
 	srv   *service.Server
+	// hub fans descriptor mutations out to wire-session lease
+	// subscribers (leases.go); published with the same
+	// assign-then-activate discipline as store/svc.
+	hub *leaseHub
 
 	// deniedMutations counts mutations rejected by seal or drain —
 	// the tenant-level conflict counter surfaced in /v1/images.
@@ -360,6 +364,8 @@ func (r *Registry) Load(name string, segs []service.Segment, cfg TenantConfig) (
 		return nil, fmt.Errorf("tenant %q: %w", name, err)
 	}
 	t.srv = service.NewServer(t.svc)
+	t.hub = newLeaseHub(st.Shards())
+	st.SetPublishHook(t.hub.broadcast)
 	t.state.Store(int32(StateActive))
 	return t, nil
 }
@@ -458,6 +464,14 @@ func (r *Registry) Evict(name string) error {
 		default:
 			return fmt.Errorf("tenant %q: cannot evict while %s", name, t.State())
 		}
+	}
+	// Revoke every decision lease before the drain: subscribers hear
+	// the expiration (and drop their caches) rather than riding a TTL
+	// out against a store about to disappear. Sealing, by contrast,
+	// leaves leases valid — a frozen descriptor space can never
+	// invalidate them.
+	if t.hub != nil {
+		t.hub.close()
 	}
 	// Drain outside any registry lock: Close waits for the workers to
 	// finish every queued batch and then releases their snapshot

@@ -24,6 +24,22 @@ type ClientConfig struct {
 	// DialTimeout bounds connection establishment and the handshake;
 	// default 10s.
 	DialTimeout time.Duration
+
+	// OnShootdown, when set, receives every Shootdown push the server
+	// sends after a Subscribe: the shard index, the advisory edited
+	// segno, and the shard's new (even) publication epoch. Called on
+	// the session's reader goroutine — it must not block and must not
+	// call back into the client.
+	OnShootdown func(sd Shootdown)
+	// OnLeaseExpire receives the subscription-revoked push (same
+	// constraints). After it fires no further shootdowns arrive on this
+	// session.
+	OnLeaseExpire func(le LeaseExpire)
+	// OnClose, when set, is called exactly once when the session dies —
+	// GoAway, connection failure, or Close — with the fatal error.
+	// Everything a decision-lease cache holds from this session is
+	// unverifiable from that instant, so this is where it drops.
+	OnClose func(err error)
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -166,8 +182,31 @@ func (c *Client) readLoop() {
 			c.fail(ErrGoAway)
 			return
 		case h.Corr == 0:
-			// Session-level error: the server is about to close.
-			if h.Type == FrameError {
+			switch h.Type {
+			case FrameShootdown:
+				// Server push on a subscribed session: dispatch and keep
+				// reading.
+				sd, derr := decodeShootdown(payload)
+				if derr != nil {
+					c.fail(derr)
+					return
+				}
+				if f := c.cfg.OnShootdown; f != nil {
+					f(sd)
+				}
+				continue
+			case FrameLeaseExpire:
+				le, derr := decodeLeaseExpire(payload)
+				if derr != nil {
+					c.fail(derr)
+					return
+				}
+				if f := c.cfg.OnLeaseExpire; f != nil {
+					f(le)
+				}
+				continue
+			case FrameError:
+				// Session-level error: the server is about to close.
 				if e, derr := decodeError(payload); derr == nil {
 					ef := e
 					c.fail(&ef)
@@ -231,13 +270,17 @@ func (cl *call) complete(t FrameType, payload []byte) {
 // and closes the connection.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	if c.fatal == nil {
+	first := c.fatal == nil
+	if first {
 		c.fatal = err
 	}
 	err = c.fatal
 	pending := c.pending
 	c.pending = make(map[uint64]*call)
 	c.mu.Unlock()
+	if first && c.cfg.OnClose != nil {
+		c.cfg.OnClose(err)
+	}
 	for _, cl := range pending {
 		cl.err = err
 		close(cl.done)
@@ -313,6 +356,19 @@ func (c *Client) Mutate(m Mutation) (uint64, error) {
 		return EncodeMutate(buf, corr, m)
 	})
 	return cl.version, err
+}
+
+// Subscribe asks the server to push descriptor-invalidation events
+// for the session's tenant to the config's OnShootdown/OnLeaseExpire
+// handlers. The returned Health is the ack: its StoreVersion is the
+// subscription's starting epoch sum — every mutation published after
+// it will be announced. Idempotent.
+func (c *Client) Subscribe() (Health, error) {
+	cl := &call{typ: FramePong}
+	err := c.roundTrip(cl, func(buf []byte, corr uint64) ([]byte, error) {
+		return EncodeSubscribe(buf, corr), nil
+	})
+	return cl.health, err
 }
 
 // Ping probes liveness and returns the tenant's current image shape.

@@ -994,3 +994,97 @@ func EncodeGoAway(buf []byte) []byte {
 	PutHeader(b, Header{Type: FrameGoAway})
 	return b
 }
+
+// ---- Subscribe / Shootdown / LeaseExpire ----
+//
+// The invalidation stream: a client that caches decisions subscribes
+// once, after which every descriptor publication on its tenant fans
+// out as a Shootdown push, and the lease itself is revoked with a
+// LeaseExpire push when the tenant drains. Pushes carry correlation
+// ID 0 — they answer no request.
+
+// Shootdown is the payload of a FrameShootdown push: shard Shard
+// published epoch Epoch after a mutation of segment Segno. Epoch is
+// the authority — a cached decision for Shard with VersionLo < Epoch
+// is stale; Segno is advisory (coalesced pushes report the latest
+// edited segment).
+type Shootdown struct {
+	Shard uint32
+	Segno uint32
+	Epoch uint64
+}
+
+// LeaseExpire is the payload of a FrameLeaseExpire push: the
+// subscription is revoked and every cached decision must be dropped.
+// Code mirrors the error-code vocabulary (CodeConflict: the tenant is
+// draining; CodeUnavailable: the server is shutting the stream down).
+type LeaseExpire struct {
+	Code uint16
+}
+
+// EncodeSubscribe fills buf with a Subscribe frame (empty payload).
+func EncodeSubscribe(buf []byte, corr uint64) []byte {
+	b := ensure(buf, HeaderLen)
+	PutHeader(b, Header{Type: FrameSubscribe, Corr: corr})
+	return b
+}
+
+// EncodeShootdown fills buf with a Shootdown push frame. The epoch
+// must be even: shootdowns are serialized through the shard's epoch
+// bump and always name a publication, never an in-flight edit.
+//
+//ring:hotpath
+func EncodeShootdown(buf []byte, sd Shootdown) ([]byte, error) {
+	if sd.Epoch&1 != 0 {
+		return nil, ErrNotEncodable
+	}
+	const size = 16
+	b := ensure(buf, HeaderLen+size)
+	PutHeader(b, Header{Len: size, Type: FrameShootdown})
+	binary.BigEndian.PutUint32(b[HeaderLen:], sd.Shard)
+	binary.BigEndian.PutUint32(b[HeaderLen+4:], sd.Segno)
+	binary.BigEndian.PutUint64(b[HeaderLen+8:], sd.Epoch)
+	return b, nil
+}
+
+// decodeShootdown decodes a Shootdown payload.
+func decodeShootdown(p []byte) (Shootdown, error) {
+	var sd Shootdown
+	if len(p) != 16 {
+		return sd, ErrBadFrame
+	}
+	sd.Shard = binary.BigEndian.Uint32(p[0:4])
+	sd.Segno = binary.BigEndian.Uint32(p[4:8])
+	sd.Epoch = binary.BigEndian.Uint64(p[8:16])
+	if sd.Epoch&1 != 0 {
+		return sd, ErrBadFrame
+	}
+	return sd, nil
+}
+
+// EncodeLeaseExpire fills buf with a LeaseExpire push frame.
+func EncodeLeaseExpire(buf []byte, le LeaseExpire) ([]byte, error) {
+	if le.Code == 0 {
+		return nil, ErrNotEncodable
+	}
+	const size = 8
+	b := ensure(buf, HeaderLen+size)
+	PutHeader(b, Header{Len: size, Type: FrameLeaseExpire})
+	binary.BigEndian.PutUint16(b[HeaderLen:], le.Code)
+	binary.BigEndian.PutUint16(b[HeaderLen+2:], 0)
+	binary.BigEndian.PutUint32(b[HeaderLen+4:], 0)
+	return b, nil
+}
+
+// decodeLeaseExpire decodes a LeaseExpire payload.
+func decodeLeaseExpire(p []byte) (LeaseExpire, error) {
+	var le LeaseExpire
+	if len(p) != 8 || binary.BigEndian.Uint16(p[2:4]) != 0 || binary.BigEndian.Uint32(p[4:8]) != 0 {
+		return le, ErrBadFrame
+	}
+	le.Code = binary.BigEndian.Uint16(p[0:2])
+	if le.Code == 0 {
+		return le, ErrBadFrame
+	}
+	return le, nil
+}

@@ -217,7 +217,7 @@ func TestHeaderRejectsReservedBits(t *testing.T) {
 		}
 	}
 	mut := bytes.Clone(b)
-	mut[4] = byte(FrameGoAway) + 1
+	mut[4] = byte(FrameLeaseExpire) + 1
 	if _, err := ParseHeader(mut); err == nil {
 		t.Error("unknown frame type accepted")
 	}

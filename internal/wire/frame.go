@@ -21,6 +21,8 @@ type Frame struct {
 	StoreVersion uint64             // FrameMutated
 	Health       Health             // FramePong
 	Err          ErrFrame           // FrameError
+	Shootdown    Shootdown          // FrameShootdown
+	Expire       LeaseExpire        // FrameLeaseExpire
 }
 
 // DecodeFrame decodes one complete frame from the front of b,
@@ -94,6 +96,20 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		if h.Corr != 0 || len(p) != 0 {
 			return f, 0, ErrBadFrame
 		}
+	case FrameSubscribe:
+		if len(p) != 0 {
+			return f, 0, ErrBadFrame
+		}
+	case FrameShootdown:
+		if h.Corr != 0 {
+			return f, 0, ErrBadFrame
+		}
+		f.Shootdown, err = decodeShootdown(p)
+	case FrameLeaseExpire:
+		if h.Corr != 0 {
+			return f, 0, ErrBadFrame
+		}
+		f.Expire, err = decodeLeaseExpire(p)
 	}
 	if err != nil {
 		return Frame{}, 0, err
@@ -134,6 +150,18 @@ func EncodeFrame(buf []byte, f Frame) ([]byte, error) {
 			return nil, ErrNotEncodable
 		}
 		return EncodeGoAway(buf), nil
+	case FrameSubscribe:
+		return EncodeSubscribe(buf, f.Corr), nil
+	case FrameShootdown:
+		if f.Corr != 0 {
+			return nil, ErrNotEncodable
+		}
+		return EncodeShootdown(buf, f.Shootdown)
+	case FrameLeaseExpire:
+		if f.Corr != 0 {
+			return nil, ErrNotEncodable
+		}
+		return EncodeLeaseExpire(buf, f.Expire)
 	default:
 		return nil, ErrNotEncodable
 	}

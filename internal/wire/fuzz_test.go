@@ -88,6 +88,7 @@ func FuzzSessionBytes(f *testing.F) {
 	}
 	f.Add(append(append([]byte{}, hello...), check...))
 	f.Add(append(append([]byte{}, hello...), EncodePing(nil, 2)...))
+	f.Add(append(append([]byte{}, hello...), EncodeSubscribe(nil, 3)...))
 	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
 	f.Add(append(append([]byte{}, hello...), 0xFF, 0xFF, 0xFF, 0xFF))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -55,6 +55,11 @@ func goldenFrames() []struct {
 		{"error", Frame{Type: FrameError, Corr: 12,
 			Err: ErrFrame{Code: CodeShed, Msg: "service: decision queue full"}}},
 		{"goaway", Frame{Type: FrameGoAway}},
+		{"subscribe", Frame{Type: FrameSubscribe, Corr: 13}},
+		{"shootdown", Frame{Type: FrameShootdown,
+			Shootdown: Shootdown{Shard: 2, Segno: 10, Epoch: 4}}},
+		{"lease_expire", Frame{Type: FrameLeaseExpire,
+			Expire: LeaseExpire{Code: CodeConflict}}},
 	}
 }
 

@@ -190,6 +190,14 @@ type session struct {
 	jobs chan *job
 	free chan *job
 
+	// sub is the session's lease subscription (nil until the client
+	// sends Subscribe); pusherStop/pusherWG bound the pusher goroutine
+	// that turns its mailbox into Shootdown frames. Both are touched
+	// only by the serve goroutine (readLoop runs on it).
+	sub        *tenant.Subscriber
+	pusherStop chan struct{}
+	pusherWG   sync.WaitGroup
+
 	draining atomic.Bool
 }
 
@@ -227,6 +235,13 @@ func (s *session) serve() {
 	// a graceful drain never drops an accepted batch.
 	close(s.jobs)
 	wg.Wait()
+	// Stop the shootdown pusher before any GoAway: GoAway must be the
+	// last frame on the wire, and a push racing it would break that.
+	if s.sub != nil {
+		close(s.pusherStop)
+		s.pusherWG.Wait()
+		s.t.Unsubscribe(s.sub)
+	}
 	if s.draining.Load() {
 		s.wmu.Lock()
 		s.wbuf = EncodeGoAway(s.wbuf)
@@ -344,6 +359,10 @@ func (s *session) readLoop() {
 			}
 		case FramePing:
 			s.handlePing(h.Corr)
+		case FrameSubscribe:
+			if !s.handleSubscribe(h.Corr, payload) {
+				return
+			}
 		default:
 			s.writeError(h.Corr, CodeBadRequest, "unexpected frame type")
 			return
@@ -478,6 +497,75 @@ func (s *session) handleMutate(corr uint64, payload []byte) bool {
 	_, _ = s.conn.Write(s.wbuf)
 	s.wmu.Unlock()
 	return true
+}
+
+// handleSubscribe registers the session for descriptor-invalidation
+// pushes and acks with a Pong (its StoreVersion is the subscription's
+// starting epoch sum). Registration happens BEFORE the ack is written,
+// so no mutation can fall between the ack and the first shootdown the
+// client could hear about; the pusher starts after the ack, so pushes
+// never precede it on the wire. A repeated Subscribe just re-acks.
+func (s *session) handleSubscribe(corr uint64, payload []byte) bool {
+	if len(payload) != 0 {
+		s.writeError(corr, CodeBadRequest, "subscribe carries no payload")
+		return false
+	}
+	first := s.sub == nil
+	if first {
+		s.sub = s.t.Subscribe()
+		s.pusherStop = make(chan struct{})
+	}
+	s.handlePing(corr)
+	if first {
+		s.pusherWG.Add(1)
+		go s.pusher()
+	}
+	return true
+}
+
+// pusher drains the session's lease mailbox into Shootdown frames (and
+// a final LeaseExpire when the tenant revokes the subscription). It
+// runs until the subscription expires or the session closes; serve()
+// joins it before writing GoAway.
+func (s *session) pusher() {
+	defer s.pusherWG.Done()
+	sub := s.sub
+	for {
+		select {
+		case <-s.pusherStop:
+			return
+		case <-sub.Notify():
+		}
+		if sub.Expired() {
+			s.writeLeaseExpire(CodeUnavailable)
+			return
+		}
+		sub.Drain(func(shard int, segno uint32, epoch uint64) {
+			s.writeShootdown(Shootdown{Shard: uint32(shard), Segno: segno, Epoch: epoch})
+		})
+	}
+}
+
+// writeShootdown pushes one Shootdown frame under the write lock.
+func (s *session) writeShootdown(sd Shootdown) {
+	s.wmu.Lock()
+	b, err := EncodeShootdown(s.wbuf, sd)
+	if err == nil {
+		s.wbuf = b
+		_, _ = s.conn.Write(b)
+	}
+	s.wmu.Unlock()
+}
+
+// writeLeaseExpire pushes the subscription-revoked frame.
+func (s *session) writeLeaseExpire(code uint16) {
+	s.wmu.Lock()
+	b, err := EncodeLeaseExpire(s.wbuf, LeaseExpire{Code: code})
+	if err == nil {
+		s.wbuf = b
+		_, _ = s.conn.Write(b)
+	}
+	s.wmu.Unlock()
 }
 
 // handlePing answers one Ping frame inline on the reader.

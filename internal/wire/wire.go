@@ -95,6 +95,21 @@ const (
 	// FrameGoAway announces a graceful close: every accepted frame has
 	// been answered and the server is about to close the connection.
 	FrameGoAway
+	// FrameSubscribe asks the server to push descriptor-invalidation
+	// events for the session's tenant: the network analogue of joining
+	// the shootdown Group. Answered with a Pong carrying the image
+	// shape (StoreVersion is the subscription's starting epoch sum).
+	FrameSubscribe
+	// FrameShootdown is a server push (correlation 0) on a subscribed
+	// session: a descriptor of the named shard changed, and the frame
+	// names the shard's new (even) publication epoch. Every cached
+	// decision for that shard tagged with an older epoch is stale.
+	FrameShootdown
+	// FrameLeaseExpire is a server push (correlation 0) revoking the
+	// subscription itself: the tenant is draining or evicted, so no
+	// further shootdowns will arrive and every cached decision must be
+	// dropped.
+	FrameLeaseExpire
 )
 
 // String returns the frame type's wire name.
@@ -120,6 +135,12 @@ func (t FrameType) String() string {
 		return "error"
 	case FrameGoAway:
 		return "goaway"
+	case FrameSubscribe:
+		return "subscribe"
+	case FrameShootdown:
+		return "shootdown"
+	case FrameLeaseExpire:
+		return "lease_expire"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -128,7 +149,7 @@ func (t FrameType) String() string {
 // valid reports whether t names a version-1 frame type.
 //
 //ring:hotpath
-func (t FrameType) valid() bool { return t >= FrameHello && t <= FrameGoAway }
+func (t FrameType) valid() bool { return t >= FrameHello && t <= FrameLeaseExpire }
 
 // Error codes carried by FrameError, mirroring the HTTP status the
 // JSON surface would answer for the same condition.

@@ -1,0 +1,48 @@
+package rings
+
+import (
+	"testing"
+	"time"
+)
+
+// benchBatch builds a cacheable batch and a cache already holding
+// leases for all of it, the steady state the T17 experiment measures.
+func benchBatch(n int) ([]Query, []Decision, *leaseCache) {
+	lc := newLeaseCache(4*n, time.Hour)
+	queries := make([]Query, n)
+	dst := make([]Decision, n)
+	gen := lc.gen.Load()
+	now := time.Now().UnixNano()
+	for i := range queries {
+		queries[i] = Query{Op: OpAccess, Ring: 4, Segno: uint32(i % 6), Wordno: uint32(i), Kind: AccessRead}
+		k, _ := leaseKeyOf(&queries[i])
+		lc.put(k, Decision{Allowed: true, Shard: int(queries[i].Segno % 8), VersionLo: 2, VersionHi: 2}, now, gen)
+	}
+	return queries, dst, lc
+}
+
+func BenchmarkLeaseServeHits(b *testing.B) {
+	queries, dst, lc := benchBatch(64)
+	now := time.Now().UnixNano()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := lc.serveHits(queries, dst, now, true, nil); len(m) != 0 {
+			b.Fatalf("%d misses", len(m))
+		}
+	}
+}
+
+func BenchmarkLeaseKeyOf(b *testing.B) {
+	queries, _, _ := benchBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range queries {
+			k, ok := leaseKeyOf(&queries[j])
+			if !ok || k.segno > 8 {
+				b.Fatal("bad key")
+			}
+		}
+	}
+}

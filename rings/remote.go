@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -30,6 +32,16 @@ type RemoteConfig struct {
 	// Timeout bounds each HTTP request, or the wire dial+handshake;
 	// default 30s.
 	Timeout time.Duration
+
+	// CacheSize, when positive, puts a bounded decision-lease cache in
+	// front of the session (wire transport only): decisions are cached
+	// by query tuple, tagged with their shard publication epoch, kept
+	// coherent by the server's shootdown stream, and bounded in
+	// staleness by CacheTTL. See lease.go for the staleness argument.
+	CacheSize int
+	// CacheTTL bounds how long a lease may be served if the shootdown
+	// stream lags; default 1s when CacheSize is set.
+	CacheTTL time.Duration
 }
 
 // RemoteChecker is Checker's remote mode: the same batch-decision
@@ -38,8 +50,17 @@ type RemoteConfig struct {
 // concurrent CheckInto calls pipeline down one session and complete
 // out of order by correlation ID.
 type RemoteChecker struct {
-	// Exactly one transport is non-nil.
-	wc *wire.Client
+	// wcp holds the wire session (nil on the HTTP transport); cached
+	// checkers swap in a fresh session when the subscription stream
+	// lapses and a redial succeeds.
+	wcp      atomic.Pointer[wire.Client]
+	wireAddr string
+	wcfg     wire.ClientConfig
+
+	cache      *leaseCache // nil when dialed without CacheSize
+	redialMu   sync.Mutex
+	lastRedial atomic.Int64
+	closed     atomic.Bool
 
 	hc     *http.Client
 	target string // HTTP base URL, tenant-scoped
@@ -73,6 +94,9 @@ func DialRemote(target string, cfg RemoteConfig) (*RemoteChecker, error) {
 	}
 	switch transport {
 	case "http":
+		if cfg.CacheSize > 0 {
+			return nil, errors.New("rings: decision-lease cache requires the wire transport (no shootdown stream over HTTP)")
+		}
 		base := strings.TrimSuffix(target, "/")
 		rc := &RemoteChecker{
 			hc:     &http.Client{Timeout: cfg.Timeout},
@@ -88,11 +112,34 @@ func DialRemote(target string, cfg RemoteConfig) (*RemoteChecker, error) {
 		return rc, nil
 	case "wire":
 		addr := strings.TrimPrefix(target, "wire://")
-		wc, err := wire.Dial(addr, wire.ClientConfig{Tenant: cfg.Tenant, DialTimeout: cfg.Timeout})
+		rc := &RemoteChecker{wireAddr: addr}
+		rc.wcfg = wire.ClientConfig{Tenant: cfg.Tenant, DialTimeout: cfg.Timeout}
+		if cfg.CacheSize > 0 {
+			ttl := cfg.CacheTTL
+			if ttl <= 0 {
+				ttl = time.Second
+			}
+			cache := newLeaseCache(cfg.CacheSize, ttl)
+			rc.cache = cache
+			rc.wcfg.OnShootdown = cache.shootdown
+			rc.wcfg.OnLeaseExpire = func(le wire.LeaseExpire) {
+				cache.expires.Add(1)
+				cache.lapse()
+			}
+			rc.wcfg.OnClose = func(error) { cache.lapse() }
+		}
+		wc, err := wire.Dial(addr, rc.wcfg)
 		if err != nil {
 			return nil, err
 		}
-		return &RemoteChecker{wc: wc}, nil
+		if rc.cache != nil {
+			if _, err := wc.Subscribe(); err != nil {
+				wc.Close()
+				return nil, err
+			}
+		}
+		rc.wcp.Store(wc)
+		return rc, nil
 	default:
 		return nil, fmt.Errorf("rings: unknown remote transport %q", cfg.Transport)
 	}
@@ -101,8 +148,9 @@ func DialRemote(target string, cfg RemoteConfig) (*RemoteChecker, error) {
 // Close releases the transport (the wire session sends nothing further
 // and hangs up).
 func (rc *RemoteChecker) Close() error {
-	if rc.wc != nil {
-		return rc.wc.Close()
+	rc.closed.Store(true)
+	if wc := rc.wcp.Load(); wc != nil {
+		return wc.Close()
 	}
 	rc.hc.CloseIdleConnections()
 	return nil
@@ -121,8 +169,14 @@ func (rc *RemoteChecker) Check(queries ...Query) ([]Decision, error) {
 // mirroring Checker.CheckInto. A shed batch (the remote queue was
 // full) reports ErrQueueFull, whichever transport carried it.
 func (rc *RemoteChecker) CheckInto(queries []Query, dst []Decision) error {
-	if rc.wc != nil {
-		return mapWireErr(rc.wc.CheckInto(queries, dst))
+	if len(dst) < len(queries) {
+		return errors.New("rings: dst shorter than queries")
+	}
+	if rc.cache != nil {
+		return rc.cachedCheckInto(queries, dst)
+	}
+	if wc := rc.wcp.Load(); wc != nil {
+		return mapWireErr(wc.CheckInto(queries, dst))
 	}
 	body, err := marshalCheck(queries)
 	if err != nil {
@@ -155,8 +209,8 @@ func (rc *RemoteChecker) CheckInto(queries []Query, dst []Decision) error {
 
 // Health reports the served image's shape.
 func (rc *RemoteChecker) Health() (RemoteHealth, error) {
-	if rc.wc != nil {
-		h, err := rc.wc.Ping()
+	if wc := rc.wcp.Load(); wc != nil {
+		h, err := wc.Ping()
 		if err != nil {
 			return RemoteHealth{}, mapWireErr(err)
 		}
